@@ -1,0 +1,25 @@
+"""Shared constants and helpers for the benchmark harness.
+
+Kept outside ``conftest.py`` so bench modules can import them without
+relying on conftest's module-name handling.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+#: Workload region scale (1.0 = the calibrated fidelity).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+#: Core count for the headline experiments.
+BENCH_CORES = int(os.environ.get("REPRO_BENCH_CORES", "8"))
+_reps_env = os.environ.get("REPRO_BENCH_REPS", "")
+#: Timesteps per run (None = the workload default).
+BENCH_REPS = int(_reps_env) if _reps_env else None
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (simulations are heavy and memoised)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,68 @@
+"""Ablation: AddrMap capacity sensitivity (§III-C storage complexity).
+
+The paper argues the AddrMap can stay small because the number of unique
+first-writes per interval is bounded by the checkpoint period.  This bench
+sweeps the capacity and shows checkpoint-size reduction saturating once
+the AddrMap covers the per-interval unique-store footprint — and
+degrading gracefully (not collapsing) below it.
+"""
+
+from _bench_lib import BENCH_REPS, BENCH_SCALE, run_once
+
+from repro.arch.config import MachineConfig
+from repro.sim.simulator import SimulationOptions, Simulator
+from repro.compiler.policy import ThresholdPolicy
+from repro.util.tables import format_table
+from repro.workloads.registry import get_workload
+
+CAPACITIES = (16, 64, 256, 1024, 8192)
+
+
+def sweep():
+    spec = get_workload("bt")
+    rows = []
+    reductions = {}
+    for capacity in CAPACITIES:
+        cfg = MachineConfig(num_cores=8, addrmap_capacity=capacity)
+        programs = spec.build_programs(
+            8, region_scale=BENCH_SCALE, reps=BENCH_REPS
+        )
+        sim = Simulator(programs, cfg)
+        base = sim.run_baseline()
+        prof = base.baseline_profile()
+        ck = sim.run(
+            SimulationOptions(label="Ckpt", scheme="global", baseline=prof)
+        )
+        re = sim.run(
+            SimulationOptions(
+                label="ReCkpt",
+                scheme="global",
+                acr=True,
+                slice_policy=ThresholdPolicy(10),
+                baseline=prof,
+            )
+        )
+        red = 1 - re.total_checkpoint_bytes / ck.total_checkpoint_bytes
+        reductions[capacity] = red
+        rows.append(
+            [capacity, round(100 * red, 2), re.addrmap_rejections]
+        )
+    table = format_table(
+        ["AddrMap capacity", "size reduction %", "rejections"],
+        rows,
+        title="Ablation: AddrMap capacity sensitivity (bt)",
+    )
+    return table, reductions
+
+
+def test_addrmap_capacity(benchmark, emit):
+    table, reductions = run_once(benchmark, sweep)
+    emit("ablation_addrmap_capacity", table)
+    reds = [reductions[c] for c in CAPACITIES]
+    # Monotone (more capacity never hurts) and saturating.
+    for a, b in zip(reds, reds[1:]):
+        assert b >= a - 0.01
+    assert reds[-1] == max(reds)
+    # A tiny AddrMap still yields some benefit; a big one much more.
+    assert reds[0] >= 0.0
+    assert reds[-1] > reds[0]

@@ -1,0 +1,88 @@
+"""Ablation: cost-model slice selection vs the greedy length threshold.
+
+§III-A sketches a probabilistic/cost-model alternative to the greedy
+threshold used in the evaluation: embed a Slice only when recomputing
+along it is estimated cheaper than restoring the value from the in-memory
+log.  Under the default 22 nm constants the energy break-even sits near
+~140 slice instructions, so the cost-model policy behaves like a *very
+generous* threshold — it recovers more checkpoint data than threshold-10
+but pays more recomputation on recovery.
+"""
+
+from _bench_lib import BENCH_REPS, BENCH_SCALE, run_once
+
+from repro.arch.config import MachineConfig
+from repro.compiler.policy import CostModelPolicy, ThresholdPolicy
+from repro.errors.injection import UniformErrors
+from repro.sim.simulator import SimulationOptions, Simulator
+from repro.util.tables import format_table
+from repro.workloads.registry import get_workload
+
+POLICIES = (
+    ("threshold-10", ThresholdPolicy(10)),
+    ("threshold-50", ThresholdPolicy(50)),
+    ("cost-model", CostModelPolicy()),
+)
+
+
+def sweep():
+    spec = get_workload("lu")  # long slice tail: policies diverge most
+    cfg = MachineConfig(num_cores=8)
+    programs = spec.build_programs(8, region_scale=BENCH_SCALE, reps=BENCH_REPS)
+    sim = Simulator(programs, cfg)
+    base = sim.run_baseline()
+    prof = base.baseline_profile()
+    ck = sim.run(
+        SimulationOptions(label="Ckpt", scheme="global", baseline=prof)
+    )
+    rows = []
+    data = {}
+    for name, policy in POLICIES:
+        re = sim.run(
+            SimulationOptions(
+                label=name,
+                scheme="global",
+                acr=True,
+                slice_policy=policy,
+                baseline=prof,
+                errors=UniformErrors(1),
+            )
+        )
+        red = 1 - re.total_checkpoint_bytes / ck.total_checkpoint_bytes
+        rec = re.recoveries[0]
+        data[name] = {
+            "reduction": red,
+            "recompute_instructions": rec.recompute_instructions,
+            "recompute_ns": rec.recompute_ns,
+        }
+        rows.append(
+            [
+                name,
+                round(100 * red, 2),
+                rec.recomputed_values,
+                rec.recompute_instructions,
+                round(rec.recompute_ns, 1),
+            ]
+        )
+    table = format_table(
+        ["policy", "size red %", "recomputed", "rcmp instrs", "rcmp ns"],
+        rows,
+        title="Ablation: slice-selection policy (lu, 1 error)",
+    )
+    return table, data
+
+
+def test_costmodel_policy(benchmark, emit):
+    table, data = run_once(benchmark, sweep)
+    emit("ablation_costmodel_policy", table)
+    # More permissive policies omit more...
+    assert (
+        data["threshold-10"]["reduction"]
+        < data["threshold-50"]["reduction"]
+        <= data["cost-model"]["reduction"] + 1e-9
+    )
+    # ...but pay more recomputation work on recovery.
+    assert (
+        data["threshold-10"]["recompute_instructions"]
+        < data["cost-model"]["recompute_instructions"]
+    )

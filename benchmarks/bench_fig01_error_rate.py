@@ -1,0 +1,15 @@
+"""Figure 1: relative component error rate under technology scaling."""
+
+from _bench_lib import run_once
+
+from repro.experiments.figures import fig1_error_rate
+
+
+def test_fig1(benchmark, emit):
+    fig = run_once(benchmark, fig1_error_rate)
+    emit("fig01_error_rate", fig.render())
+    rates = fig.series["rates"]
+    # Exponential growth, ~8%/generation, normalised to the oldest node.
+    assert rates[0] == 1.0
+    assert all(b > a for a, b in zip(rates, rates[1:]))
+    assert rates[-1] > 1.5

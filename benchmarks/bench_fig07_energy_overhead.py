@@ -1,0 +1,26 @@
+"""Figure 7: energy overhead of checkpointing and recovery.
+
+Paper shape: same trends as time; ReCkpt_NE reduces Ckpt_NE's energy
+overhead by up to ~27% (is), ~12.5% average, minimum ~1.75% (cg).
+"""
+
+from _bench_lib import run_once
+
+from repro.experiments.figures import fig7_energy_overhead
+
+
+def test_fig7(benchmark, runner, emit):
+    fig = run_once(benchmark, lambda: fig7_energy_overhead(runner))
+    emit("fig07_energy_overhead", fig.render())
+    s = fig.series
+
+    reductions = {
+        wl: 1 - v["ReCkpt_NE"] / v["Ckpt_NE"] for wl, v in s.items()
+    }
+    avg = sum(reductions.values()) / len(reductions)
+    assert 0.05 < avg < 0.30
+    assert reductions["cg"] == min(reductions.values())
+    for wl, v in s.items():
+        assert v["ReCkpt_NE"] < v["Ckpt_NE"]
+        assert v["ReCkpt_E"] < v["Ckpt_E"]
+        assert v["Ckpt_E"] > v["Ckpt_NE"]

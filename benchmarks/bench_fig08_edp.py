@@ -1,0 +1,24 @@
+"""Figure 8: EDP reduction of ReCkpt w.r.t. Ckpt.
+
+Paper shape: NE up to ~48% (is), avg ~22.5%; E up to ~48% (dc), avg
+~23.4%.  EDP composes the time and energy overhead reductions, so it
+roughly doubles the individual percentages.
+"""
+
+from _bench_lib import run_once
+
+from repro.experiments.figures import fig8_edp_reduction
+
+
+def test_fig8(benchmark, runner, emit):
+    fig = run_once(benchmark, lambda: fig8_edp_reduction(runner))
+    emit("fig08_edp", fig.render())
+    s = fig.series
+    ne = [v["NE"] for v in s.values()]
+    e = [v["E"] for v in s.values()]
+    assert 0.08 < sum(ne) / len(ne) < 0.5
+    assert 0.08 < sum(e) / len(e) < 0.5
+    # EDP reduction exceeds each benchmark's individual time reduction.
+    assert max(ne) > 0.25
+    # cg stays the least responsive.
+    assert s["cg"]["NE"] == min(ne)

@@ -1,0 +1,38 @@
+"""Figure 9: checkpoint-size reduction, Overall vs Max.
+
+Paper shape: `is` has by far the highest Overall reduction but a
+near-zero Max reduction (its largest checkpoint is an unrecomputable
+fresh scatter); `ft`'s Max is also ~0 at threshold 10 (long slices);
+`dc` has the highest Max reduction; average Overall ≈38%.
+"""
+
+from _bench_lib import run_once
+
+from repro.experiments.figures import fig9_checkpoint_size
+
+
+def test_fig9(benchmark, runner, emit):
+    fig = run_once(benchmark, lambda: fig9_checkpoint_size(runner))
+    emit("fig09_ckpt_size", fig.render())
+    s = fig.series
+
+    overall = {wl: v["overall"] for wl, v in s.items()}
+    mx = {wl: v["max"] for wl, v in s.items()}
+
+    # is: top-tier overall with a tiny Max — the largest Overall-vs-Max
+    # gap of all benchmarks (its Max checkpoint is the fresh scatter).
+    assert overall["is"] >= sorted(overall.values())[-2]
+    assert mx["is"] < 0.25
+    gaps = {wl: overall[wl] - mx[wl] for wl in overall}
+    assert gaps["is"] == max(gaps.values())
+    assert gaps["is"] > 0.3
+    # ft: small Max at threshold 10.
+    assert mx["ft"] < 0.15
+    # dc: the largest Max reduction of all benchmarks.
+    assert mx["dc"] == max(mx.values())
+    assert mx["dc"] > 0.3
+    # cg: least reducible overall.
+    assert overall["cg"] == min(overall.values())
+    # Average overall in the right band (paper 38.31%).
+    avg = sum(overall.values()) / len(overall)
+    assert 0.2 < avg < 0.55

@@ -1,0 +1,38 @@
+"""Figure 10: per-interval checkpoint-size reduction over time (bt).
+
+Paper shape: the reduction varies across checkpoint intervals (temporal
+variation — the motivation for recomputation-aware placement), and higher
+thresholds dominate lower ones interval by interval.
+"""
+
+from _bench_lib import run_once
+
+from repro.experiments.figures import fig10_temporal
+
+
+def test_fig10(benchmark, runner, emit):
+    fig = run_once(benchmark, lambda: fig10_temporal(runner, "bt"))
+    emit("fig10_temporal", fig.render())
+    s = fig.series
+
+    thr10 = s["thr10"]
+    thr50 = s["thr50"]
+    assert len(thr10) == 25
+
+    # Temporal variation: the warm intervals' reductions are not flat —
+    # mild at threshold 10, pronounced at 30 where bt's big 21-30 slice
+    # bucket amplifies the working-set wave (as in the paper's figure).
+    warm10 = thr10[2:]
+    assert max(warm10) - min(warm10) > 0.05
+    warm30 = s["thr30"][2:]
+    assert max(warm30) - min(warm30) > 0.10
+
+    # The first interval is fresh: nothing recomputable yet.
+    assert thr10[0] < 0.05
+
+    # Threshold dominance, interval by interval.
+    for a, b in zip(thr10, thr50):
+        assert b >= a - 1e-9
+
+    # At threshold 50 most warm intervals are heavily reduced.
+    assert sum(r > 0.5 for r in thr50[2:]) > len(thr50) // 2

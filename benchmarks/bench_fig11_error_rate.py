@@ -1,0 +1,38 @@
+"""Figure 11: time overhead vs number of errors (1..5).
+
+Paper shape: overhead grows with the number of errors for both Ckpt_E and
+ReCkpt_E; ReCkpt_E stays below Ckpt_E at every error count, with average
+time-overhead reductions of ~9–12%.
+"""
+
+from _bench_lib import run_once
+
+from repro.experiments.figures import fig11_error_sweep
+
+
+def test_fig11(benchmark, runner, emit):
+    fig = run_once(benchmark, lambda: fig11_error_sweep(runner))
+    emit("fig11_error_sweep", fig.render())
+    s = fig.series
+
+    for wl, per_n in s.items():
+        counts = sorted(per_n)
+        ck = [per_n[n]["Ckpt_E"] for n in counts]
+        re = [per_n[n]["ReCkpt_E"] for n in counts]
+        # Overall growth with error count.  Strict monotonicity is not
+        # guaranteed: uniformly placed errors can coincide with boundary
+        # times (e.g. 4 errors at 0.2/0.4/... land exactly on 25-ckpt
+        # boundaries), minimising o_waste for that count.
+        assert ck[-1] > ck[0] * 1.3, wl
+        assert re[-1] > re[0] * 1.3, wl
+        # ACR wins at every error count.
+        for n in counts:
+            assert per_n[n]["ReCkpt_E"] < per_n[n]["Ckpt_E"], (wl, n)
+
+    # Average reduction across benchmarks/counts in the paper's band.
+    reds = [
+        1 - per_n[n]["ReCkpt_E"] / per_n[n]["Ckpt_E"]
+        for per_n in s.values()
+        for n in per_n
+    ]
+    assert 0.04 < sum(reds) / len(reds) < 0.30

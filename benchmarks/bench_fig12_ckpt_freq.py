@@ -1,0 +1,34 @@
+"""Figure 12: time overhead vs number of checkpoints (25/50/75/100).
+
+Paper shape: checkpointing overhead grows with the checkpoint count; ft
+carries the largest overhead; ReCkpt_NE reduces the overhead at every
+count (average ~10–14%).
+"""
+
+from _bench_lib import run_once
+
+from repro.experiments.figures import fig12_frequency_sweep
+
+
+def test_fig12(benchmark, runner, emit):
+    fig = run_once(benchmark, lambda: fig12_frequency_sweep(runner))
+    emit("fig12_ckpt_freq", fig.render())
+    s = fig.series
+
+    for wl, per_n in s.items():
+        counts = sorted(per_n)
+        ck = [per_n[n]["Ckpt_NE"] for n in counts]
+        # Overhead grows with checkpoint count.
+        assert all(b > a for a, b in zip(ck, ck[1:])), wl
+        # ACR wins at every count.
+        for n in counts:
+            assert per_n[n]["ReCkpt_NE"] < per_n[n]["Ckpt_NE"], (wl, n)
+
+    # ft and is carry the largest checkpointing overheads at the highest
+    # frequency (the paper singles out ft; our is sits beside it and the
+    # dense mid-field packs within a few points).
+    at_100 = {wl: per_n[100]["Ckpt_NE"] for wl, per_n in s.items()}
+    top3 = sorted(at_100, key=at_100.get, reverse=True)[:3]
+    assert "ft" in top3
+    # cg the smallest.
+    assert at_100["cg"] == min(at_100.values())

@@ -1,0 +1,67 @@
+"""Micro-benchmarks: component throughput under pytest-benchmark.
+
+These are conventional timing benchmarks (many rounds) for the simulator's
+hot components: the interpreter, the cache model, the AddrMap and Slice
+recomputation.  They guard against performance regressions that would make
+the paper regeneration impractically slow.
+"""
+
+from repro.arch.buffers import AddrMap, AddrMapEntry
+from repro.arch.cache import SetAssociativeCache
+from repro.arch.config import CacheConfig
+from repro.compiler.embed import compile_program
+from repro.isa.builder import chain_kernel
+from repro.isa.instructions import AddressPattern
+from repro.isa.interpreter import Interpreter, MemoryImage
+from repro.isa.program import Program
+
+STORE = AddressPattern(0, 1, 256)
+INPUT = AddressPattern(1 << 20, 1, 256)
+
+
+def test_interpreter_throughput(benchmark):
+    program = Program(
+        [chain_kernel("k", STORE, [INPUT], 8, 256) for _ in range(8)]
+    )
+
+    def run():
+        Interpreter(program, MemoryImage(0)).run_to_completion()
+
+    benchmark(run)
+
+
+def test_cache_access_throughput(benchmark):
+    cache = SetAssociativeCache(CacheConfig("l1", 32 * 1024, 8, 3.66))
+    lines = [i * 7 % 4096 for i in range(4096)]
+
+    def run():
+        for line in lines:
+            cache.access(line, line & 1 == 0)
+
+    benchmark(run)
+
+
+def test_addrmap_throughput(benchmark):
+    program = Program([chain_kernel("k", STORE, [INPUT], 4, 1)])
+    sl = compile_program(program).slices.get(0)
+    addrmap = AddrMap(8192)
+
+    def run():
+        for i in range(1024):
+            addrmap.record(AddrMapEntry(i * 8, sl, (i,)))
+        addrmap.commit_generation()
+        for i in range(1024):
+            addrmap.committed_lookup(i * 8)
+
+    benchmark(run)
+
+
+def test_slice_recompute_throughput(benchmark):
+    program = Program([chain_kernel("k", STORE, [INPUT], 9, 1)])
+    sl = compile_program(program).slices.get(0)
+
+    def run():
+        for i in range(1024):
+            sl.execute((i,))
+
+    benchmark(run)

@@ -1,0 +1,91 @@
+"""Extension: recomputation-aware checkpoint placement (paper future work).
+
+§V-D1/V-D3 suggest skewing checkpoint boundaries toward recomputation-rich
+execution points instead of placing them uniformly.  This bench profiles
+``bt`` (strong temporal variation) on a fine grid, derives an aware
+placement, and compares the checkpoint-data volume and time overhead
+against the uniform default at the same checkpoint count.
+"""
+
+from _bench_lib import BENCH_REPS, BENCH_SCALE, run_once
+
+from repro.arch.config import MachineConfig
+from repro.compiler.policy import ThresholdPolicy
+from repro.experiments.placement import aware_boundaries
+from repro.sim.results import time_overhead
+from repro.sim.simulator import SimulationOptions, Simulator
+from repro.util.tables import format_table
+from repro.workloads.registry import get_workload
+
+N_CHECKPOINTS = 25
+PROFILE_GRID = 75
+
+
+def sweep():
+    spec = get_workload("bt")
+    cfg = MachineConfig(num_cores=8)
+    programs = spec.build_programs(8, region_scale=BENCH_SCALE, reps=BENCH_REPS)
+    sim = Simulator(programs, cfg)
+    base = sim.run_baseline()
+    prof = base.baseline_profile()
+    policy = ThresholdPolicy(10)
+
+    profile_run = sim.run(
+        SimulationOptions(
+            label="profile",
+            scheme="global",
+            acr=True,
+            slice_policy=policy,
+            num_checkpoints=PROFILE_GRID,
+            baseline=prof,
+        )
+    )
+    plan = aware_boundaries(profile_run, N_CHECKPOINTS, max_stretch=1.6)
+
+    uniform = sim.run(
+        SimulationOptions(
+            label="uniform",
+            scheme="global",
+            acr=True,
+            slice_policy=policy,
+            num_checkpoints=N_CHECKPOINTS,
+            baseline=prof,
+        )
+    )
+    aware = sim.run(
+        SimulationOptions(
+            label="aware",
+            scheme="global",
+            acr=True,
+            slice_policy=policy,
+            num_checkpoints=N_CHECKPOINTS,
+            baseline=prof,
+            boundaries=plan.boundaries,
+        )
+    )
+    rows = []
+    data = {}
+    for run in (uniform, aware):
+        red = 1 - run.total_checkpoint_bytes / run.total_baseline_checkpoint_bytes
+        ovh = time_overhead(run, base)
+        data[run.label] = {"reduction": red, "overhead": ovh,
+                           "logged": run.total_checkpoint_bytes}
+        rows.append(
+            [run.label, run.checkpoint_count, run.total_checkpoint_bytes,
+             round(100 * red, 2), round(100 * ovh, 2)]
+        )
+    table = format_table(
+        ["placement", "ckpts", "logged bytes", "omitted %", "time ovh %"],
+        rows,
+        title="Extension: recomputation-aware checkpoint placement (bt)",
+    )
+    return table, data
+
+
+def test_placement(benchmark, emit):
+    table, data = run_once(benchmark, sweep)
+    emit("extension_placement", table)
+    # Aware placement must not log more checkpoint data than uniform, and
+    # should improve the omitted fraction.
+    assert data["aware"]["reduction"] >= data["uniform"]["reduction"] - 0.02
+    assert data["aware"]["logged"] <= data["uniform"]["logged"] * 1.05

@@ -1,0 +1,42 @@
+"""§V-D4: scalability with thread count (8/16/32).
+
+Paper shape: average checkpointing overhead grows with core count
+(≈45/55/60% at 8/16/32 threads) and ACR's reduction persists at every
+scale.  To keep the bench tractable the 16- and 32-core sweeps use a
+representative benchmark subset at a reduced region scale — ratios, not
+absolute magnitudes, carry the claim.
+"""
+
+import os
+
+from _bench_lib import BENCH_REPS, run_once
+
+from repro.experiments.figures import scalability
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE_SCALABILITY", "0.5"))
+WORKLOADS = ("bt", "ft", "is", "mg")
+
+
+def test_scalability(benchmark, emit):
+    fig = run_once(
+        benchmark,
+        lambda: scalability(
+            core_counts=(8, 16, 32),
+            region_scale=SCALE,
+            reps=BENCH_REPS,
+            workloads=WORKLOADS,
+        ),
+    )
+    emit("scalability", fig.render())
+    s = fig.series
+
+    def avg_overhead(cores):
+        return sum(v["Ckpt_NE"] for v in s[cores].values()) / len(s[cores])
+
+    # Checkpointing overhead grows with core count.
+    assert avg_overhead(8) < avg_overhead(16) < avg_overhead(32)
+
+    # ACR keeps reducing overhead at every scale.
+    for cores in (8, 16, 32):
+        for wl, v in s[cores].items():
+            assert v["red"] > 0, (cores, wl)

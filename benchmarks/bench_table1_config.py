@@ -1,0 +1,12 @@
+"""Table I: the simulated architecture."""
+
+from _bench_lib import run_once
+
+from repro.experiments.tables_ import table1_configuration
+
+
+def test_table1(benchmark, runner, emit):
+    text = run_once(benchmark, lambda: table1_configuration(runner.machine))
+    emit("table1_config", text)
+    for token in ("1.09 GHz", "4-issue", "32KB", "512KB", "120ns"):
+        assert token in text

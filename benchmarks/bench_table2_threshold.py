@@ -1,0 +1,35 @@
+"""Table II: checkpoint-size reduction vs Slice-length threshold.
+
+Paper shape, per benchmark (threshold 10/20/30/40/50):
+  bt 36.5/45.1/85.4/88.4/89.9 — big jump at 30;
+  cg  7.0/67.1/89.7/...       — big jump at 20;
+  mg 11.6/19.7/88.0/...       — big jump at 30;
+  is ~constant (all slices under 10);
+  lu keeps growing past 50 (long tail);
+  sp grows gradually through 40.
+"""
+
+from _bench_lib import run_once
+
+from repro.experiments.tables_ import table2_threshold_sweep
+
+
+def test_table2(benchmark, runner, emit):
+    fig = run_once(benchmark, lambda: table2_threshold_sweep(runner))
+    emit("table2_threshold", fig.render())
+    s = fig.series  # wl -> [red@10, red@20, red@30, red@40, red@50]
+
+    for wl, reds in s.items():
+        # Monotone: a higher threshold embeds a superset of slices.
+        for a, b in zip(reds, reds[1:]):
+            assert b >= a - 1e-9, (wl, reds)
+
+    # The benchmark-specific jump locations.
+    assert s["cg"][1] - s["cg"][0] > 0.35      # jump at 20
+    assert s["mg"][2] - s["mg"][1] > 0.35      # jump at 30
+    assert s["bt"][2] - s["bt"][1] > 0.25      # jump at 30
+    assert s["is"][4] - s["is"][0] < 0.05      # flat
+    assert s["lu"][4] - s["lu"][3] > 0.03      # still growing at 50
+    assert s["sp"][3] - s["sp"][2] > 0.10      # growth through 40
+    # ft only unlocks its burst at threshold >= 40.
+    assert s["ft"][3] - s["ft"][2] > 0.08

@@ -1,0 +1,50 @@
+"""Fixtures for the benchmark harness.
+
+One :class:`ExperimentRunner` is shared by every bench in the session, so
+each distinct simulation runs exactly once no matter how many figures need
+it.  Every bench renders its table to stdout *and* into
+``benchmarks/reports/<name>.txt`` so a full run leaves the regenerated
+paper artifacts on disk.
+
+Scale knobs (environment):
+
+* ``REPRO_BENCH_SCALE``  — workload region scale (default 1.0, the
+  calibrated fidelity; smaller = faster, same shapes);
+* ``REPRO_BENCH_CORES``  — core count (default 8, the paper's headline);
+* ``REPRO_BENCH_REPS``   — timesteps per run (default: workload default).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from _bench_lib import BENCH_CORES, BENCH_REPS, BENCH_SCALE, REPORT_DIR
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """The shared, memoising experiment runner."""
+    return ExperimentRunner(
+        num_cores=BENCH_CORES, region_scale=BENCH_SCALE, reps=BENCH_REPS
+    )
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture()
+def emit(report_dir):
+    """Print a rendered artifact and persist it under reports/."""
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

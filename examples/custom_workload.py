@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Build a custom program, slice it, and watch ACR recover from an error.
+
+This example uses the low-level API directly (no workload generators):
+
+1. hand-build a two-thread program with the kernel builder — a stencil-ish
+   chain kernel (sliceable), an accumulator (loop-carried: not sliceable)
+   and a copy kernel (trivial: not worth slicing);
+2. run the ACR compiler pass and inspect the extracted Slices;
+3. simulate with checkpointing + one injected error;
+4. independently verify that every omitted value is recomputed
+   bit-exactly from its Slice and operand snapshot.
+
+    python examples/custom_workload.py
+"""
+
+from repro import (
+    AddressPattern,
+    MachineConfig,
+    Program,
+    SimulationOptions,
+    Simulator,
+    ThresholdPolicy,
+    UniformErrors,
+    chain_kernel,
+    compile_program,
+)
+from repro.ckpt.recovery import RecoveryEngine
+
+
+def build_program(thread: int) -> Program:
+    base = (thread + 1) << 26
+    kernels = []
+    for rep in range(16):
+        kernels.append(
+            chain_kernel(
+                f"stencil.r{rep}",
+                AddressPattern(base, 1, 128),
+                [AddressPattern(base + (1 << 20), 1, 128, offset=rep)],
+                chain_depth=6,
+                trip_count=128,
+                phase=rep,
+                salt=thread * 101 + rep,
+                ghost_alu=20,
+            )
+        )
+        kernels.append(
+            chain_kernel(
+                f"accum.r{rep}",
+                AddressPattern(base + (1 << 16), 1, 16),
+                [AddressPattern(base + (1 << 21), 1, 16)],
+                chain_depth=3,
+                trip_count=16,
+                phase=rep,
+                accumulate=True,
+            )
+        )
+        kernels.append(
+            chain_kernel(
+                f"copy.r{rep}",
+                AddressPattern(base + (1 << 17), 1, 16),
+                [AddressPattern(base + (1 << 22), 1, 16, offset=rep)],
+                chain_depth=0,
+                trip_count=16,
+                phase=rep,
+                copy_store=True,
+            )
+        )
+    return Program(kernels, thread)
+
+
+def main() -> None:
+    config = MachineConfig(num_cores=2)
+    programs = [build_program(t) for t in range(2)]
+
+    # --- the compiler pass, standalone -----------------------------------
+    compiled = compile_program(programs[0], ThresholdPolicy(10))
+    print("compiler pass on thread 0:")
+    print(f"  store sites      : {compiled.stats.sites_total}")
+    print(f"  sliceable        : {compiled.stats.sites_sliceable}")
+    print(f"  embedded         : {compiled.stats.sites_embedded}")
+    print(f"  loop-carried     : {compiled.stats.sites_loop_carried}")
+    print(f"  trivial copies   : {compiled.stats.sites_trivial}")
+    example = next(iter(compiled.slices))
+    print(f"  example Slice    : site {example.site}, length "
+          f"{example.length}, {len(example.frontier)} operand(s)")
+
+    # --- simulate with an error ------------------------------------------
+    sim = Simulator(programs, config)
+    base = sim.run_baseline()
+    run = sim.run(
+        SimulationOptions(
+            label="ReCkpt_E",
+            scheme="global",
+            acr=True,
+            slice_policy=ThresholdPolicy(10),
+            num_checkpoints=8,
+            baseline=base.baseline_profile(),
+            errors=UniformErrors(1),
+        )
+    )
+    rec = run.recoveries[0]
+    print("\nrecovery after the injected error:")
+    print(f"  rolled back to checkpoint {rec.safe_checkpoint} "
+          f"(corrupted checkpoint skipped: {rec.skipped_corrupted})")
+    print(f"  o_waste     = {rec.waste_ns:10.1f} ns")
+    print(f"  o_roll-back = {rec.rollback_ns:10.1f} ns "
+          f"({rec.restored_records} log records)")
+    print(f"  o_rcmp      = {rec.recompute_ns:10.1f} ns "
+          f"({rec.recomputed_values} values, "
+          f"{rec.recompute_instructions} slice instructions)")
+
+    # --- independent recomputation check ---------------------------------
+    store = run.checkpoint_store
+    retained = [c.log for c in store.checkpoints[-2:]] + [store.current_log]
+    mismatches = RecoveryEngine.verify_recomputation(retained)
+    omitted = sum(len(l.omitted) for l in retained)
+    print(f"\nself-check: {omitted} retained omitted values recomputed, "
+          f"{len(mismatches)} mismatches")
+    assert not mismatches
+
+
+if __name__ == "__main__":
+    main()

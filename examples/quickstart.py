@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: ACR on one NAS-like benchmark.
+
+Runs the `bt` benchmark on the paper's Table-I machine in three
+configurations — no checkpointing, baseline incremental checkpointing, and
+ACR (recomputation-enabled) checkpointing — and reports what ACR saves.
+
+    python examples/quickstart.py [benchmark] [--scale S]
+"""
+
+import argparse
+
+from repro import (
+    ExperimentRunner,
+    energy_overhead,
+    time_overhead,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="bt",
+                        help="one of: bt cg dc ft is lu mg sp")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload scale (smaller = faster)")
+    args = parser.parse_args()
+
+    runner = ExperimentRunner(num_cores=8, region_scale=args.scale)
+    wl = args.benchmark
+
+    print(f"== {wl} on the Table-I machine "
+          f"({runner.machine.num_cores} cores) ==\n")
+
+    base = runner.baseline(wl)
+    ckpt = runner.run_default(wl, "Ckpt_NE")
+    acr = runner.run_default(wl, "ReCkpt_NE")
+
+    print(f"NoCkpt    : wall {base.wall_ns / 1e3:9.1f} us   "
+          f"energy {base.energy_pj / 1e6:8.2f} uJ")
+    for run in (ckpt, acr):
+        print(
+            f"{run.label:<10}: wall {run.wall_ns / 1e3:9.1f} us   "
+            f"energy {run.energy_pj / 1e6:8.2f} uJ   "
+            f"time ovh {100 * time_overhead(run, base):5.1f}%   "
+            f"energy ovh {100 * energy_overhead(run, base):5.1f}%"
+        )
+
+    size_red = 1 - acr.total_checkpoint_bytes / ckpt.total_checkpoint_bytes
+    t_red = 1 - time_overhead(acr, base) / time_overhead(ckpt, base)
+    e_red = 1 - energy_overhead(acr, base) / energy_overhead(ckpt, base)
+
+    print(f"\nACR checkpoint-data reduction : {100 * size_red:5.1f}%")
+    print(f"ACR time-overhead reduction   : {100 * t_red:5.1f}%")
+    print(f"ACR energy-overhead reduction : {100 * e_red:5.1f}%")
+    print(f"\ncompiler pass: {acr.compile_stats.sites_embedded} of "
+          f"{acr.compile_stats.sites_total} store sites got an embedded "
+          f"Slice ({acr.compile_stats.embedded_bytes} bytes in the binary)")
+    print(f"omissions at run time: {acr.omissions} log writes skipped")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Calibration readout: per-benchmark metrics vs. paper targets.
+
+Run while tuning workload specs:
+
+    python scripts/calibrate.py [bench ...]
+
+Prints, per benchmark: Ckpt_NE/ReCkpt_NE time & energy overheads and the
+ACR reductions (Fig. 6/7 targets), checkpoint-size reductions Overall/Max
+(Fig. 9), and the threshold sweep (Table II).
+"""
+
+import sys
+import time
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.configs import ConfigRequest
+from repro.experiments.tables_ import PAPER_TABLE2
+from repro.sim.results import energy_overhead, time_overhead
+
+
+def main() -> None:
+    benches = sys.argv[1:] or None
+    runner = ExperimentRunner(num_cores=8)
+    names = benches or runner.workloads()
+    for wl in names:
+        t0 = time.time()
+        base = runner.baseline(wl)
+        thr = runner.default_threshold(wl)
+        ck = runner.run_default(wl, "Ckpt_NE")
+        re = runner.run_default(wl, "ReCkpt_NE")
+        ot_c = time_overhead(ck, base)
+        ot_r = time_overhead(re, base)
+        oe_c = energy_overhead(ck, base)
+        oe_r = energy_overhead(re, base)
+        overall = 1 - re.total_checkpoint_bytes / ck.total_checkpoint_bytes
+        mx = 1 - re.max_checkpoint_bytes / ck.max_checkpoint_bytes
+        print(
+            f"{wl}: thr={thr} Tovh {ot_c*100:5.1f}->{ot_r*100:5.1f}% "
+            f"(red {100*(1-ot_r/ot_c):5.1f}%) "
+            f"Eovh {oe_c*100:5.1f}->{oe_r*100:5.1f}% "
+            f"(red {100*(1-oe_r/oe_c):5.1f}%) "
+            f"size red overall {overall*100:5.1f}% max {mx*100:5.1f}%"
+        )
+        sweep = []
+        for t in (10, 20, 30, 40, 50):
+            r = runner.run(wl, ConfigRequest("ReCkpt_NE", threshold=t))
+            sweep.append(100 * (1 - r.total_checkpoint_bytes / ck.total_checkpoint_bytes))
+        target = PAPER_TABLE2.get(wl)
+        print(
+            f"    sweep  {' '.join(f'{v:5.1f}' for v in sweep)}"
+            + (f"   paper {' '.join(f'{v:5.1f}' for v in target)}" if target else "")
+            + f"   [{time.time()-t0:.1f}s]"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""ACR: Amnesic Checkpointing and Recovery — a full reproduction.
+
+This package reproduces Akturk & Karpuzcu, *ACR: Amnesic Checkpointing and
+Recovery* (HPCA 2020): a backward-error-recovery framework that omits
+*recomputable* values from incremental in-memory checkpoints and
+regenerates them — via compiler-extracted backward slices — only when a
+recovery actually needs them.
+
+Quick start
+-----------
+>>> from repro import ExperimentRunner, fig6_time_overhead
+>>> runner = ExperimentRunner(num_cores=8, region_scale=0.5)
+>>> print(fig6_time_overhead(runner).render())      # doctest: +SKIP
+
+Layers (bottom-up): :mod:`repro.isa` (IR + interpreter),
+:mod:`repro.compiler` (backward slicing / ASSOC-ADDR embedding),
+:mod:`repro.arch` (Table-I machine models), :mod:`repro.energy`,
+:mod:`repro.errors`, :mod:`repro.ckpt` (incremental logging BER),
+:mod:`repro.acr` (the paper's contribution), :mod:`repro.sim` (the run
+loop), :mod:`repro.workloads` (NAS-like generators) and
+:mod:`repro.experiments` (figure/table regeneration).
+"""
+
+from repro.analysis import (
+    compare_runs,
+    decompose_overhead,
+    energy_by_category,
+    full_snapshot_costs,
+    hierarchical_costs,
+    recovery_anatomy,
+)
+from repro.arch.config import MachineConfig, TABLE1
+from repro.compiler import (
+    CompiledProgram,
+    SelectionPolicy,
+    Slice,
+    SliceTable,
+    ThresholdPolicy,
+    compile_program,
+)
+from repro.energy import EnergyLedger, EnergyModel
+from repro.errors import ErrorModel, NoErrors, PoissonErrors, UniformErrors
+from repro.experiments import (
+    CONFIG_NAMES,
+    ConfigRequest,
+    ExperimentRunner,
+    fig1_error_rate,
+    fig6_time_overhead,
+    fig7_energy_overhead,
+    fig8_edp_reduction,
+    fig9_checkpoint_size,
+    fig10_temporal,
+    fig11_error_sweep,
+    fig12_frequency_sweep,
+    fig13_local,
+    scalability,
+    table1_configuration,
+    table2_threshold_sweep,
+)
+from repro.isa import (
+    AddressPattern,
+    Interpreter,
+    Kernel,
+    KernelBuilder,
+    MemoryImage,
+    Program,
+    chain_kernel,
+)
+from repro.sim import (
+    BaselineProfile,
+    RunResult,
+    SimulationOptions,
+    Simulator,
+    energy_overhead,
+    time_overhead,
+)
+from repro.workloads import (
+    NAS_BENCHMARKS,
+    WorkloadSpec,
+    all_workload_names,
+    get_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # analysis
+    "compare_runs",
+    "decompose_overhead",
+    "energy_by_category",
+    "recovery_anatomy",
+    "full_snapshot_costs",
+    "hierarchical_costs",
+    # machine
+    "MachineConfig",
+    "TABLE1",
+    # compiler
+    "Slice",
+    "SliceTable",
+    "CompiledProgram",
+    "SelectionPolicy",
+    "ThresholdPolicy",
+    "compile_program",
+    # energy
+    "EnergyModel",
+    "EnergyLedger",
+    # errors
+    "ErrorModel",
+    "NoErrors",
+    "UniformErrors",
+    "PoissonErrors",
+    # isa
+    "AddressPattern",
+    "Kernel",
+    "KernelBuilder",
+    "Program",
+    "chain_kernel",
+    "Interpreter",
+    "MemoryImage",
+    # sim
+    "Simulator",
+    "SimulationOptions",
+    "RunResult",
+    "BaselineProfile",
+    "time_overhead",
+    "energy_overhead",
+    # workloads
+    "WorkloadSpec",
+    "NAS_BENCHMARKS",
+    "get_workload",
+    "all_workload_names",
+    # experiments
+    "ExperimentRunner",
+    "ConfigRequest",
+    "CONFIG_NAMES",
+    "fig1_error_rate",
+    "fig6_time_overhead",
+    "fig7_energy_overhead",
+    "fig8_edp_reduction",
+    "fig9_checkpoint_size",
+    "fig10_temporal",
+    "fig11_error_sweep",
+    "fig12_frequency_sweep",
+    "fig13_local",
+    "scalability",
+    "table1_configuration",
+    "table2_threshold_sweep",
+]

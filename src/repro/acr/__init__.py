@@ -1,0 +1,26 @@
+"""ACR: the amnesic checkpointing and recovery control logic.
+
+The *ACR handler* of the paper (§III) splits into:
+
+* :class:`~repro.acr.handlers.AcrCheckpointHandler` — reacts to every
+  dynamic store: executes ``ASSOC-ADDR`` bookkeeping for covered stores
+  (operand snapshot into the AddrMap) and answers the memory controller's
+  "may this first-modification be omitted from the log?" query;
+* :class:`~repro.acr.handlers.AcrRecoveryHandler` — on recovery, fires
+  recomputation along the recorded Slices and writes the regenerated
+  values back, re-establishing a consistent recovery line;
+* :class:`~repro.acr.recompute.RecomputationEngine` — executes Slices
+  against operand snapshots (the scratchpad-equivalent private register
+  namespace) with instruction accounting.
+"""
+
+from repro.acr.handlers import AcrCheckpointHandler, AcrRecoveryHandler, AssocOutcome
+from repro.acr.recompute import RecomputationEngine, RecomputeStats
+
+__all__ = [
+    "AcrCheckpointHandler",
+    "AcrRecoveryHandler",
+    "AssocOutcome",
+    "RecomputationEngine",
+    "RecomputeStats",
+]

@@ -1,0 +1,53 @@
+"""Slice recomputation engine.
+
+Executes Slices against their operand snapshots.  Slices run in a private
+register namespace (the paper's scratchpad alternative: since recovery
+overwrites the register file from the checkpoint anyway, recomputation may
+freely use it — either way the architectural state consumed by the resumed
+execution is unaffected, which :meth:`Slice.execute`'s isolation models).
+
+The engine adds the accounting the handlers need: instruction counts,
+per-slice-length histograms, and a verification hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.arch.buffers import AddrMapEntry
+from repro.compiler.slices import Slice
+
+__all__ = ["RecomputeStats", "RecomputationEngine"]
+
+
+@dataclass
+class RecomputeStats:
+    """Accumulated recomputation accounting."""
+
+    values: int = 0
+    instructions: int = 0
+    by_length: Dict[int, int] = field(default_factory=dict)
+
+    def note(self, sl: Slice) -> None:
+        """Account one executed slice."""
+        self.values += 1
+        self.instructions += sl.length
+        self.by_length[sl.length] = self.by_length.get(sl.length, 0) + 1
+
+
+class RecomputationEngine:
+    """Executes Slices with accounting."""
+
+    def __init__(self) -> None:
+        self.stats = RecomputeStats()
+
+    def recompute(self, sl: Slice, operands: Sequence[int]) -> int:
+        """Recompute one value; returns it."""
+        value = sl.execute(operands)
+        self.stats.note(sl)
+        return value
+
+    def recompute_entry(self, entry: AddrMapEntry) -> Tuple[int, int]:
+        """Recompute from an AddrMap entry; returns (address, value)."""
+        return entry.address, self.recompute(entry.slice_, entry.operands)

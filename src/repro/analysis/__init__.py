@@ -1,0 +1,39 @@
+"""Post-run analysis: decompositions, comparisons and what-if baselines.
+
+``decomposition`` — split a run's overhead into the paper's Eq. 1–3
+terms and group the energy ledger into readable categories;
+``baselines``    — what-if cost models over a finished run: traditional
+full-snapshot checkpointing and a hierarchical (two-level) scheme, both
+computed from the run's exact per-interval statistics;
+``compare``      — side-by-side configuration tables.
+"""
+
+from repro.analysis.baselines import (
+    FullSnapshotCosts,
+    HierarchicalConfig,
+    HierarchicalCosts,
+    full_snapshot_costs,
+    hierarchical_costs,
+)
+from repro.analysis.compare import compare_runs
+from repro.analysis.decomposition import (
+    OverheadDecomposition,
+    RecoveryAnatomy,
+    decompose_overhead,
+    energy_by_category,
+    recovery_anatomy,
+)
+
+__all__ = [
+    "OverheadDecomposition",
+    "RecoveryAnatomy",
+    "decompose_overhead",
+    "energy_by_category",
+    "recovery_anatomy",
+    "FullSnapshotCosts",
+    "HierarchicalConfig",
+    "HierarchicalCosts",
+    "full_snapshot_costs",
+    "hierarchical_costs",
+    "compare_runs",
+]

@@ -1,0 +1,44 @@
+"""Side-by-side configuration comparison tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.results import RunResult, energy_overhead, time_overhead
+from repro.util.tables import format_table
+
+__all__ = ["compare_runs"]
+
+
+def compare_runs(
+    baseline: RunResult, runs: Sequence[RunResult], title: str = "comparison"
+) -> str:
+    """Render a comparison of ``runs`` against the NoCkpt ``baseline``."""
+    rows = []
+    for run in runs:
+        rows.append(
+            [
+                run.label,
+                round(run.wall_ns / 1e3, 1),
+                round(100 * time_overhead(run, baseline), 2),
+                round(100 * energy_overhead(run, baseline), 2),
+                run.checkpoint_count,
+                run.total_checkpoint_bytes,
+                run.recovery_count,
+                run.omissions,
+            ]
+        )
+    return format_table(
+        [
+            "config",
+            "wall us",
+            "time ovh %",
+            "energy ovh %",
+            "ckpts",
+            "ckpt bytes",
+            "recoveries",
+            "omissions",
+        ],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,41 @@
+"""Microarchitecture models: the paper's Table I machine.
+
+Components
+----------
+``config``    — machine/cache/memory configuration (Table I defaults);
+``cache``     — set-associative write-back LRU caches;
+``hierarchy`` — per-core L1-I/L1-D/L2 stack with miss propagation;
+``directory`` — directory state: per-line log bits and inter-core
+                sharing/communication tracking (for local checkpointing);
+``memctrl``   — bandwidth-limited memory controllers (one per 4 cores);
+``noc``       — 2-D mesh interconnect latency/energy and barrier costs;
+``core``      — in-order 4-issue core timing model;
+``buffers``   — ACR's on-chip structures: AddrMap and operand buffer.
+"""
+
+from repro.arch.config import CacheConfig, MachineConfig, TABLE1
+from repro.arch.cache import AccessResult, SetAssociativeCache
+from repro.arch.hierarchy import CoreCacheHierarchy, DataAccess
+from repro.arch.directory import Directory
+from repro.arch.memctrl import MemoryController, MemorySystem
+from repro.arch.noc import MeshNoc
+from repro.arch.core import CoreTimingModel
+from repro.arch.buffers import AddrMap, AddrMapEntry, OperandBuffer
+
+__all__ = [
+    "CacheConfig",
+    "MachineConfig",
+    "TABLE1",
+    "AccessResult",
+    "SetAssociativeCache",
+    "CoreCacheHierarchy",
+    "DataAccess",
+    "Directory",
+    "MemoryController",
+    "MemorySystem",
+    "MeshNoc",
+    "CoreTimingModel",
+    "AddrMap",
+    "AddrMapEntry",
+    "OperandBuffer",
+]

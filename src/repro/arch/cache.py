@@ -1,0 +1,111 @@
+"""Set-associative write-back LRU cache model.
+
+Functional-timing hybrid: the cache tracks tags, LRU order and dirty bits
+(so checkpoint-time dirty-line flushes are exact), but holds no data —
+values live in the shared :class:`~repro.isa.interpreter.MemoryImage`.
+
+LRU is implemented with per-set ``dict`` insertion order (Python dicts are
+ordered): a hit re-inserts the tag, an eviction pops the oldest entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.arch.config import CacheConfig
+
+__all__ = ["AccessResult", "SetAssociativeCache"]
+
+
+@dataclass(frozen=True, slots=True)
+class AccessResult:
+    """Outcome of one cache access.
+
+    ``victim_line`` / ``victim_dirty`` describe the line evicted to make
+    room on a miss (``None`` when no eviction happened).
+    """
+
+    hit: bool
+    victim_line: Optional[int]
+    victim_dirty: bool
+
+
+class SetAssociativeCache:
+    """One cache level; addresses are *line* addresses (byte addr // line)."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(config.num_sets)]
+        self._num_sets = config.num_sets
+        self._ways = config.ways
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def _set_for(self, line: int) -> Dict[int, bool]:
+        return self._sets[line % self._num_sets]
+
+    def access(self, line: int, is_write: bool) -> AccessResult:
+        """Access ``line``; allocate on miss (write-allocate policy)."""
+        cset = self._set_for(line)
+        if line in cset:
+            dirty = cset.pop(line) or is_write
+            cset[line] = dirty  # re-insert: most recently used
+            self.hits += 1
+            return AccessResult(True, None, False)
+
+        self.misses += 1
+        victim_line: Optional[int] = None
+        victim_dirty = False
+        if len(cset) >= self._ways:
+            victim_line, victim_dirty = next(iter(cset.items()))
+            del cset[victim_line]
+            self.evictions += 1
+            if victim_dirty:
+                self.dirty_evictions += 1
+        cset[line] = is_write
+        return AccessResult(False, victim_line, victim_dirty)
+
+    def contains(self, line: int) -> bool:
+        """True when ``line`` is resident (does not touch LRU order)."""
+        return line in self._set_for(line)
+
+    def is_dirty(self, line: int) -> bool:
+        """True when ``line`` is resident and dirty."""
+        return self._set_for(line).get(line, False)
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line``; returns True when the dropped copy was dirty."""
+        cset = self._set_for(line)
+        if line in cset:
+            return cset.pop(line)
+        return False
+
+    def flush_dirty(self) -> List[int]:
+        """Write back all dirty lines (checkpoint flush).
+
+        Marks every dirty line clean and returns their line addresses; the
+        lines stay resident (as in Rebound, clean copies remain cached).
+        """
+        flushed: List[int] = []
+        for cset in self._sets:
+            for line, dirty in cset.items():
+                if dirty:
+                    flushed.append(line)
+                    cset[line] = False
+        return flushed
+
+    def dirty_line_count(self) -> int:
+        """Number of currently dirty lines."""
+        return sum(1 for cset in self._sets for d in cset.values() if d)
+
+    def resident_lines(self) -> List[int]:
+        """All resident line addresses (test helper)."""
+        return [line for cset in self._sets for line in cset]
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses so far."""
+        return self.hits + self.misses

@@ -1,0 +1,179 @@
+"""Machine configuration (paper Table I).
+
+All latencies are nanoseconds, sizes bytes, bandwidths bytes/second.  The
+defaults reproduce Table I of the paper:
+
+    22 nm, 1.09 GHz, 4-issue in-order, 8 outstanding loads/stores
+    L1-I 32 KB 4-way 3.66 ns     L1-D 32 KB 8-way 3.66 ns (WB, LRU)
+    L2   512 KB 8-way 24.77 ns (WB, LRU)
+    Main memory 120 ns, 7.6 GB/s per controller, 1 controller per 4 cores
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List
+
+from repro.isa.instructions import LINE_BYTES
+from repro.util.tables import format_table
+from repro.util.units import GHZ, KIB, bytes_per_second
+from repro.util.validation import (
+    check_positive,
+    check_power_of_two,
+)
+
+__all__ = ["CacheConfig", "MachineConfig", "TABLE1"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level: capacity, associativity, access latency."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency_ns: float
+    line_bytes: int = LINE_BYTES
+
+    def __post_init__(self) -> None:
+        check_positive("size_bytes", self.size_bytes)
+        check_positive("ways", self.ways)
+        check_positive("latency_ns", self.latency_ns)
+        check_power_of_two("line_bytes", self.line_bytes)
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full simulated-machine configuration.
+
+    Beyond Table I, this carries the ACR structure sizes (AddrMap and
+    operand-buffer capacities, modelled after L1-D per the paper's
+    evaluation setup) and the coordination/recovery cost knobs the timing
+    model uses.
+    """
+
+    num_cores: int = 8
+    freq_hz: float = 1.09 * GHZ
+    issue_width: int = 4
+    outstanding_ldst: int = 8
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1-I", 32 * KIB, 4, 3.66)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1-D", 32 * KIB, 8, 3.66)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 512 * KIB, 8, 24.77)
+    )
+    mem_latency_ns: float = 120.0
+    mem_bandwidth_bytes_per_s: float = bytes_per_second(7.6)
+    cores_per_controller: int = 4
+
+    #: ACR on-chip structures (access modelled after L1-D).
+    addrmap_capacity: int = 8192
+    addrmap_access_ns: float = 3.66
+    operand_buffer_capacity: int = 16384
+    #: Recomputation datapath (paper §II-B).  ``False`` — the ACR default:
+    #: Slices execute on the register file *before* the checkpointed
+    #: register state is restored (free, but serialises with the log
+    #: restore).  ``True`` — a dedicated scratchpad executes Slices, so
+    #: recomputation overlaps the log-restore memory transfers at a small
+    #: extra energy cost per slice instruction.
+    scratchpad_recompute: bool = False
+
+    #: NoC: per-hop latency and barrier base cost.
+    noc_hop_ns: float = 2.0
+    noc_barrier_base_ns: float = 30.0
+
+    #: Architectural state checkpointed per core (registers + PC + CSRs).
+    arch_state_bytes: int = 1024
+
+    #: Memory-level parallelism: how many outstanding misses effectively
+    #: overlap (bounded by ``outstanding_ldst``).
+    mlp: float = 4.0
+
+    def __post_init__(self) -> None:
+        check_positive("num_cores", self.num_cores)
+        check_positive("freq_hz", self.freq_hz)
+        check_positive("issue_width", self.issue_width)
+        check_positive("outstanding_ldst", self.outstanding_ldst)
+        check_positive("mem_latency_ns", self.mem_latency_ns)
+        check_positive("mem_bandwidth_bytes_per_s", self.mem_bandwidth_bytes_per_s)
+        check_positive("cores_per_controller", self.cores_per_controller)
+        check_positive("addrmap_capacity", self.addrmap_capacity)
+        check_positive("operand_buffer_capacity", self.operand_buffer_capacity)
+        check_positive("mlp", self.mlp)
+        if self.mlp > self.outstanding_ldst:
+            raise ValueError(
+                f"mlp ({self.mlp}) cannot exceed outstanding_ldst "
+                f"({self.outstanding_ldst})"
+            )
+
+    # -- derived quantities ----------------------------------------------------
+    @property
+    def cycle_ns(self) -> float:
+        """One clock cycle in nanoseconds."""
+        return 1e9 / self.freq_hz
+
+    @property
+    def num_controllers(self) -> int:
+        """Number of memory controllers (at least one)."""
+        return max(1, self.num_cores // self.cores_per_controller)
+
+    @property
+    def line_bytes(self) -> int:
+        """Cache line size (uniform across the hierarchy)."""
+        return self.l1d.line_bytes
+
+    def with_cores(self, num_cores: int) -> "MachineConfig":
+        """A copy scaled to ``num_cores`` (for the scalability study)."""
+        return replace(self, num_cores=num_cores)
+
+    def describe(self) -> str:
+        """Render the configuration as the paper's Table I."""
+        rows: List[List[object]] = [
+            ["Technology node", "22nm"],
+            [
+                "Core",
+                f"{self.freq_hz / GHZ:.2f} GHz, {self.issue_width}-issue, "
+                f"in-order, {self.outstanding_ldst} outstanding ld/st",
+            ],
+            [
+                "L1-I (LRU)",
+                f"{self.l1i.size_bytes // KIB}KB, {self.l1i.ways}-way, "
+                f"{self.l1i.latency_ns}ns",
+            ],
+            [
+                "L1-D (LRU, WB)",
+                f"{self.l1d.size_bytes // KIB}KB, {self.l1d.ways}-way, "
+                f"{self.l1d.latency_ns}ns",
+            ],
+            [
+                "L2 (LRU, WB)",
+                f"{self.l2.size_bytes // KIB}KB, {self.l2.ways}-way, "
+                f"{self.l2.latency_ns}ns",
+            ],
+            [
+                "Main Memory",
+                f"{self.mem_latency_ns:.0f}ns, "
+                f"{self.mem_bandwidth_bytes_per_s / 1e9:.1f} GB/s/controller, "
+                f"1 contr. per {self.cores_per_controller}-cores",
+            ],
+            ["Cores", str(self.num_cores)],
+        ]
+        return format_table(["Component", "Configuration"], rows, title="Table I")
+
+
+#: The paper's exact Table I machine (8 cores by default; the scalability
+#: study scales with :meth:`MachineConfig.with_cores`).
+TABLE1 = MachineConfig()

@@ -1,0 +1,81 @@
+"""Bandwidth-limited memory controllers.
+
+Table I provisions 7.6 GB/s per controller with one controller per four
+cores.  Checkpoint flushes and log/restore traffic are *bulk* transfers:
+their time is dominated by bandwidth, not latency.  The
+:class:`MemorySystem` splits a bulk transfer across the controllers that
+serve the participating cores and returns the critical-path time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.arch.config import MachineConfig
+from repro.util.validation import check_non_negative
+
+__all__ = ["MemoryController", "MemorySystem"]
+
+
+@dataclass
+class MemoryController:
+    """One controller: fixed access latency plus a bandwidth pipe."""
+
+    index: int
+    latency_ns: float
+    bandwidth_bytes_per_s: float
+    bytes_transferred: int = 0
+
+    def transfer_time_ns(self, num_bytes: int) -> float:
+        """Time to stream ``num_bytes`` through this controller."""
+        check_non_negative("num_bytes", num_bytes)
+        if num_bytes == 0:
+            return 0.0
+        self.bytes_transferred += num_bytes
+        return self.latency_ns + num_bytes / self.bandwidth_bytes_per_s * 1e9
+
+
+class MemorySystem:
+    """All memory controllers of the machine, with the core→controller map."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.controllers: List[MemoryController] = [
+            MemoryController(
+                i, config.mem_latency_ns, config.mem_bandwidth_bytes_per_s
+            )
+            for i in range(config.num_controllers)
+        ]
+
+    def controller_for_core(self, core: int) -> MemoryController:
+        """The controller serving ``core`` (cores are striped in blocks)."""
+        idx = min(
+            core // self.config.cores_per_controller, len(self.controllers) - 1
+        )
+        return self.controllers[idx]
+
+    def bulk_transfer_time_ns(self, bytes_per_core: Dict[int, int]) -> float:
+        """Critical-path time of a bulk transfer issued by several cores.
+
+        Each core's bytes stream through its own controller; cores behind
+        the same controller serialise.  The transfer completes when the
+        slowest controller drains, so the returned time is the max over
+        controllers — this is what makes checkpoint flushes scale with the
+        *per-controller* load rather than with total traffic.
+        """
+        per_controller: Dict[int, int] = {}
+        for core, num_bytes in bytes_per_core.items():
+            check_non_negative(f"bytes for core {core}", num_bytes)
+            ctrl = self.controller_for_core(core)
+            per_controller[ctrl.index] = per_controller.get(ctrl.index, 0) + num_bytes
+        worst = 0.0
+        for ctrl_index, num_bytes in per_controller.items():
+            t = self.controllers[ctrl_index].transfer_time_ns(num_bytes)
+            worst = max(worst, t)
+        return worst
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes streamed through all controllers so far."""
+        return sum(c.bytes_transferred for c in self.controllers)

@@ -1,0 +1,56 @@
+"""2-D mesh network-on-chip: hop latencies and barrier costs.
+
+Checkpoint coordination is a barrier among the participating cores; the
+paper observes that its cost grows with the number of coordinating cores
+(the key advantage of coordinated *local* checkpointing).  We model a
+tree-based barrier over the mesh: latency grows with ``log2(n)`` rounds,
+each round costing the mesh diameter in hops.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.config import MachineConfig
+from repro.util.validation import check_positive
+
+__all__ = ["MeshNoc"]
+
+
+class MeshNoc:
+    """Mesh interconnect for ``config.num_cores`` cores."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.dim = max(1, math.isqrt(config.num_cores))
+        if self.dim * self.dim < config.num_cores:
+            self.dim += 1
+        self.barriers = 0
+
+    def diameter_hops(self, n_cores: int) -> int:
+        """Mesh diameter (hops) of the sub-mesh holding ``n_cores`` cores."""
+        check_positive("n_cores", n_cores)
+        side = max(1, math.isqrt(n_cores))
+        if side * side < n_cores:
+            side += 1
+        return max(1, 2 * (side - 1))
+
+    def barrier_latency_ns(self, n_cores: int) -> float:
+        """Latency of a barrier among ``n_cores`` cores.
+
+        ``log2(n)`` reduction+broadcast rounds, each traversing the
+        diameter of the participating sub-mesh, plus a fixed base cost
+        (barrier bookkeeping in the checkpoint handler).
+        """
+        self.barriers += 1
+        if n_cores <= 1:
+            return self.config.noc_barrier_base_ns
+        rounds = math.ceil(math.log2(n_cores)) + 1
+        return (
+            self.config.noc_barrier_base_ns
+            + rounds * self.diameter_hops(n_cores) * self.config.noc_hop_ns
+        )
+
+    def average_hops(self) -> float:
+        """Average hop count between two uniformly random mesh nodes."""
+        return 2 * (self.dim - 1) / 3 if self.dim > 1 else 0.0

@@ -1,0 +1,48 @@
+"""Backward error recovery: log-based incremental in-memory checkpointing.
+
+The baseline follows Rebound/ReVive/SafetyNet: on the *first* modification
+of a memory word within a checkpoint interval, its old value is appended to
+an in-memory log; establishing a checkpoint flushes dirty cache lines,
+records per-core architectural state, and clears the per-word log bits.
+The two most recent checkpoints are retained (detection latency ≤ period).
+
+``log``         — interval logs: logged records and ACR-omitted records;
+``checkpoint``  — checkpoints and the retention-managed store;
+``coordinator`` — boundary cost models, global and local coordination;
+``recovery``    — rollback planning, costing and functional restore.
+"""
+
+from repro.ckpt.log import (
+    LOG_RECORD_BYTES,
+    VALUE_BYTES,
+    IntervalLog,
+    LogRecord,
+    OmittedRecord,
+)
+from repro.ckpt.checkpoint import Checkpoint, CheckpointStore, RETAINED_CHECKPOINTS
+from repro.ckpt.coordinator import (
+    BoundaryCost,
+    CheckpointCostModel,
+    GlobalCoordinator,
+    LocalCoordinator,
+    uniform_boundaries,
+)
+from repro.ckpt.recovery import RecoveryCosts, RecoveryEngine
+
+__all__ = [
+    "LOG_RECORD_BYTES",
+    "VALUE_BYTES",
+    "LogRecord",
+    "OmittedRecord",
+    "IntervalLog",
+    "Checkpoint",
+    "CheckpointStore",
+    "RETAINED_CHECKPOINTS",
+    "BoundaryCost",
+    "CheckpointCostModel",
+    "GlobalCoordinator",
+    "LocalCoordinator",
+    "uniform_boundaries",
+    "RecoveryCosts",
+    "RecoveryEngine",
+]

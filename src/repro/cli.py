@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+Installed as ``acr-repro`` (or run with ``python -m repro.cli``):
+
+* ``acr-repro report``            — regenerate the paper's evaluation;
+* ``acr-repro run bt ReCkpt_E``   — run one configuration, print the
+  result with the overhead/energy decompositions;
+* ``acr-repro compare bt``        — all nine configurations side by side;
+* ``acr-repro slices bt``         — compiler-pass statistics and the
+  slice-length histogram of a benchmark;
+* ``acr-repro baselines bt``      — full-snapshot and hierarchical
+  what-if cost models over the checkpointed run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.baselines import (
+    HierarchicalConfig,
+    full_snapshot_costs,
+    hierarchical_costs,
+)
+from repro.analysis.compare import compare_runs
+from repro.analysis.decomposition import (
+    decompose_overhead,
+    energy_by_category,
+    recovery_anatomy,
+)
+from repro.compiler.embed import compile_program
+from repro.compiler.policy import ThresholdPolicy
+from repro.experiments.configs import CONFIG_NAMES, ConfigRequest
+from repro.experiments.runner import ExperimentRunner
+from repro.util.tables import format_table
+from repro.workloads.registry import all_workload_names, get_workload
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload region scale (1.0 = full fidelity)")
+    parser.add_argument("--cores", type=int, default=8)
+    parser.add_argument("--reps", type=int, default=None)
+
+
+def _runner(args) -> ExperimentRunner:
+    return ExperimentRunner(
+        num_cores=args.cores, region_scale=args.scale, reps=args.reps
+    )
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    generate_report(_runner(args), include_scalability=args.scalability)
+    return 0
+
+
+def cmd_run(args) -> int:
+    runner = _runner(args)
+    base = runner.baseline(args.benchmark)
+    run = runner.run_default(
+        args.benchmark,
+        args.config,
+        num_checkpoints=args.checkpoints,
+        error_count=args.errors,
+    )
+    print(run.describe())
+    print()
+    print(decompose_overhead(run).describe())
+    print()
+    cats = energy_by_category(run)
+    print(
+        format_table(
+            ["energy category", "uJ", "%"],
+            [
+                [k, round(v / 1e6, 3), round(100 * v / run.energy_pj, 1)]
+                for k, v in cats.items()
+            ],
+        )
+    )
+    if run.recoveries:
+        a = recovery_anatomy(run)
+        print(
+            f"\nrecoveries: {a.count}  waste {a.waste_ns:.0f}ns  "
+            f"rollback {a.rollback_ns:.0f}ns ({a.restored_records} records)"
+            f"  recompute {a.recompute_ns:.0f}ns "
+            f"({a.recomputed_values} values)"
+        )
+    print(f"\nvs NoCkpt: wall x{run.wall_ns / base.wall_ns:.3f}  "
+          f"energy x{run.energy_pj / base.energy_pj:.3f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    runner = _runner(args)
+    base = runner.baseline(args.benchmark)
+    runs = [
+        runner.run_default(args.benchmark, name)
+        for name in CONFIG_NAMES
+        if name != "NoCkpt"
+    ]
+    print(compare_runs(base, runs, title=f"{args.benchmark}: all configurations"))
+    return 0
+
+
+def cmd_slices(args) -> int:
+    spec = get_workload(args.benchmark)
+    program = spec.build_programs(1, region_scale=args.scale, reps=args.reps)[0]
+    cp = compile_program(program, ThresholdPolicy(args.threshold))
+    s = cp.stats
+    print(f"{args.benchmark}: threshold {args.threshold} "
+          f"(default {spec.default_threshold})")
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["store sites", s.sites_total],
+                ["sliceable", s.sites_sliceable],
+                ["embedded", s.sites_embedded],
+                ["loop-carried", s.sites_loop_carried],
+                ["trivial copies", s.sites_trivial],
+                ["coverage", f"{100 * s.coverage:.1f}%"],
+                ["embedded bytes", s.embedded_bytes],
+            ],
+        )
+    )
+    hist = cp.slices.length_histogram()
+    print(
+        format_table(
+            ["slice length", "count"],
+            [[l, hist[l]] for l in sorted(hist)],
+            title="embedded slice-length histogram",
+        )
+    )
+    return 0
+
+
+def cmd_baselines(args) -> int:
+    runner = _runner(args)
+    for config in ("Ckpt_NE", "ReCkpt_NE"):
+        run = runner.run_default(args.benchmark, config)
+        fs = full_snapshot_costs(run)
+        h = hierarchical_costs(run, HierarchicalConfig(every_k=args.every_k))
+        print(f"{config}:")
+        print(f"  incremental log      : {run.total_checkpoint_bytes} B")
+        print(f"  full snapshots would : {fs.total_bytes} B "
+              f"(x{fs.inflation:.2f}), {fs.write_time_ns / 1e3:.1f} us")
+        print(f"  level-2 drain (1/{args.every_k}): {h.drained_bytes} B in "
+              f"{h.drain_time_ns / 1e3:.1f} us "
+              f"over {h.drained_checkpoints} drains")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="acr-repro",
+        description="ACR (HPCA 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="regenerate the paper's evaluation")
+    _add_common(p)
+    p.add_argument("--scalability", action="store_true")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("run", help="run one configuration")
+    p.add_argument("benchmark", choices=all_workload_names())
+    p.add_argument("config", choices=[c for c in CONFIG_NAMES if c != "NoCkpt"])
+    p.add_argument("--checkpoints", type=int, default=25)
+    p.add_argument("--errors", type=int, default=1)
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="all configurations side by side")
+    p.add_argument("benchmark", choices=all_workload_names())
+    _add_common(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("slices", help="compiler-pass statistics")
+    p.add_argument("benchmark", choices=all_workload_names())
+    p.add_argument("--threshold", type=int, default=10)
+    _add_common(p)
+    p.set_defaults(func=cmd_slices)
+
+    p = sub.add_parser("baselines", help="what-if checkpointing baselines")
+    p.add_argument("benchmark", choices=all_workload_names())
+    p.add_argument("--every-k", type=int, default=5)
+    _add_common(p)
+    p.set_defaults(func=cmd_baselines)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

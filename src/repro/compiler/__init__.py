@@ -1,0 +1,44 @@
+"""The ACR compiler pass.
+
+The paper extracts, per store instruction, a *backward slice* restricted to
+arithmetic/logic instructions (loads at the frontier become buffered input
+operands; branches are unrolled away), keeps slices shorter than a length
+threshold, embeds them into the binary, and pairs each covered store with
+an ``ASSOC-ADDR`` instruction.
+
+This package implements that pipeline over the IR:
+
+``ddg``      — per-kernel def-use graph;
+``slicer``   — backward slice extraction with sliceability analysis;
+``slices``   — executable :class:`Slice` objects and the embedded table;
+``policy``   — which slices to embed (greedy threshold, cost model);
+``embed``    — rewrite the program with ``ASSOC-ADDR`` annotations;
+``costmodel``— recomputation-vs-load cost estimation.
+"""
+
+from repro.compiler.ddg import DataDependenceGraph
+from repro.compiler.slices import Slice, SliceTable
+from repro.compiler.slicer import SliceExtraction, SliceRejection, extract_slice
+from repro.compiler.policy import (
+    CostModelPolicy,
+    SelectionPolicy,
+    ThresholdPolicy,
+)
+from repro.compiler.embed import CompiledProgram, CompileStats, compile_program
+from repro.compiler.costmodel import RecomputeCostModel
+
+__all__ = [
+    "DataDependenceGraph",
+    "Slice",
+    "SliceTable",
+    "SliceExtraction",
+    "SliceRejection",
+    "extract_slice",
+    "SelectionPolicy",
+    "ThresholdPolicy",
+    "CostModelPolicy",
+    "CompiledProgram",
+    "CompileStats",
+    "compile_program",
+    "RecomputeCostModel",
+]

@@ -1,0 +1,60 @@
+"""Recomputation-vs-restore cost estimation.
+
+The paper mentions two slice-selection options: the greedy length threshold
+used throughout the evaluation, and a probabilistic/cost-model alternative
+that embeds a slice only when recomputing along it is estimated cheaper
+than loading the value from a checkpoint in memory.  This module provides
+the cost estimates for the latter (used by
+:class:`~repro.compiler.policy.CostModelPolicy` and the ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.slices import Slice
+__all__ = ["RecomputeCostModel"]
+
+
+@dataclass(frozen=True)
+class RecomputeCostModel:
+    """Per-event costs for comparing recomputation against a memory restore.
+
+    Defaults reflect the 22 nm imbalance the paper leans on: a DRAM word
+    access costs two orders of magnitude more energy than an ALU operation.
+    All energies in picojoules, latencies in nanoseconds.
+    """
+
+    alu_energy_pj: float = 1.1
+    alu_latency_ns: float = 0.92
+    operand_buffer_read_pj: float = 2.4
+    dram_word_energy_pj: float = 160.0
+    dram_latency_ns: float = 120.0
+
+    def recompute_energy_pj(self, sl: Slice) -> float:
+        """Energy to recompute a value along ``sl`` (write-back excluded —
+        both restore paths write the value to memory)."""
+        return (
+            sl.length * self.alu_energy_pj
+            + len(sl.frontier) * self.operand_buffer_read_pj
+        )
+
+    def recompute_latency_ns(self, sl: Slice) -> float:
+        """Latency to recompute a value along ``sl`` (serial execution)."""
+        return sl.length * self.alu_latency_ns
+
+    def restore_energy_pj(self) -> float:
+        """Energy to read one checkpointed word from the in-memory log."""
+        return self.dram_word_energy_pj
+
+    def restore_latency_ns(self) -> float:
+        """Latency of one checkpoint-log word read."""
+        return self.dram_latency_ns
+
+    def is_energy_effective(self, sl: Slice) -> bool:
+        """True when recomputation beats a checkpoint read on energy."""
+        return self.recompute_energy_pj(sl) <= self.restore_energy_pj()
+
+    def is_latency_effective(self, sl: Slice) -> bool:
+        """True when recomputation beats a checkpoint read on latency."""
+        return self.recompute_latency_ns(sl) <= self.restore_latency_ns()

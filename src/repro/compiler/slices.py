@@ -1,0 +1,135 @@
+"""Executable Slices and the per-binary Slice table.
+
+A :class:`Slice` is the paper's unit of recomputation: a short, pure
+ALU/MOVI instruction sequence whose frontier registers (values produced by
+loads outside the slice) are supplied from the operand buffer.  Executing a
+slice with the operand snapshot captured at ``ASSOC-ADDR`` time must
+reproduce the exact value the associated store wrote — tests assert this
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.isa.instructions import AluInstr, MoviInstr
+from repro.isa.opcodes import MASK64, apply_alu
+
+__all__ = ["Slice", "SliceTable", "SLICE_INSTR_BYTES"]
+
+#: Encoded size of one slice instruction in the binary (a fixed-width
+#: RISC-style encoding), used for the embedded-size overhead statistic.
+SLICE_INSTR_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Slice:
+    """A backward slice restricted to ALU/MOVI instructions.
+
+    Attributes
+    ----------
+    site:
+        Static store-site id this slice regenerates the value for.
+    instructions:
+        MOVI/ALU instructions in execution order (original registers).
+    frontier:
+        Registers whose values are slice inputs (produced by loads outside
+        the slice), in ascending register order.  The operand snapshot
+        recorded in the AddrMap follows this order.
+    result_reg:
+        Register whose final value is the recomputed data value.
+    """
+
+    site: int
+    instructions: Tuple[object, ...]
+    frontier: Tuple[int, ...]
+    result_reg: int
+
+    @property
+    def length(self) -> int:
+        """Instruction count — the paper's Slice-length metric."""
+        return len(self.instructions)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the slice recomputes nothing (a copy of an operand)."""
+        return not self.instructions
+
+    @property
+    def encoded_bytes(self) -> int:
+        """Binary footprint of the embedded slice."""
+        return self.length * SLICE_INSTR_BYTES
+
+    def execute(self, operands: Sequence[int]) -> int:
+        """Recompute the value from a frontier-operand snapshot.
+
+        ``operands`` must align with :attr:`frontier`.  Executes over a
+        private register namespace, so the architectural register file is
+        untouched — mirroring the paper's scratchpad discussion.
+        """
+        if len(operands) != len(self.frontier):
+            raise ValueError(
+                f"slice for site {self.site} takes {len(self.frontier)} "
+                f"operands, got {len(operands)}"
+            )
+        regs: Dict[int, int] = {
+            reg: value & MASK64 for reg, value in zip(self.frontier, operands)
+        }
+        for ins in self.instructions:
+            if isinstance(ins, MoviInstr):
+                regs[ins.dst] = ins.imm & MASK64
+            elif isinstance(ins, AluInstr):
+                regs[ins.dst] = apply_alu(ins.op, regs[ins.src_a], regs[ins.src_b])
+            else:  # pragma: no cover - construction prevents this
+                raise TypeError(f"illegal instruction in slice: {ins!r}")
+        try:
+            return regs[self.result_reg]
+        except KeyError:
+            raise ValueError(
+                f"slice for site {self.site} never defines result register "
+                f"{self.result_reg}"
+            ) from None
+
+
+class SliceTable:
+    """The set of Slices embedded into a binary, keyed by store site."""
+
+    def __init__(self) -> None:
+        self._slices: Dict[int, Slice] = {}
+
+    def add(self, sl: Slice) -> None:
+        """Register a slice; a site may carry at most one slice."""
+        if sl.site in self._slices:
+            raise ValueError(f"site {sl.site} already has a slice")
+        self._slices[sl.site] = sl
+
+    def get(self, site: int) -> Slice | None:
+        """The slice for a site, or ``None`` when the site is uncovered."""
+        return self._slices.get(site)
+
+    def __contains__(self, site: int) -> bool:
+        return site in self._slices
+
+    def __len__(self) -> int:
+        return len(self._slices)
+
+    def __iter__(self) -> Iterator[Slice]:
+        return iter(self._slices.values())
+
+    @property
+    def sites(self) -> List[int]:
+        """Covered site ids, sorted."""
+        return sorted(self._slices)
+
+    @property
+    def encoded_bytes(self) -> int:
+        """Total binary footprint of all embedded slices."""
+        return sum(sl.encoded_bytes for sl in self._slices.values())
+
+    def length_histogram(self) -> Dict[int, int]:
+        """Map slice length -> number of embedded slices of that length."""
+        hist: Dict[int, int] = {}
+        for sl in self._slices.values():
+            hist[sl.length] = hist.get(sl.length, 0) + 1
+        return hist

@@ -1,0 +1,35 @@
+"""Energy modelling (McPAT substitute).
+
+``model``      — per-event dynamic energies and leakage powers at 22 nm;
+``accounting`` — the per-component energy ledger a run accumulates into;
+``edp``        — energy-delay-product helpers (paper Figs. 8, §V-D2/3);
+``technology`` — technology-scaling error-rate model (paper Fig. 1).
+
+The constants are calibrated to the well-known 22 nm imbalance the paper
+builds on (Horowitz ISSCC'14 ballpark): a DRAM access costs ~two orders of
+magnitude more energy than an ALU operation, with SRAM in between.  All
+paper results are *relative* (overheads and reductions), so only these
+ratios matter for reproduction fidelity.
+"""
+
+from repro.energy.model import EnergyModel
+from repro.energy.accounting import EnergyLedger
+from repro.energy.edp import combined_edp_reduction, edp, edp_reduction
+from repro.energy.technology import (
+    TECHNOLOGY_NODES,
+    component_error_rate_series,
+    relative_error_rate,
+    system_error_probability,
+)
+
+__all__ = [
+    "EnergyModel",
+    "EnergyLedger",
+    "edp",
+    "edp_reduction",
+    "combined_edp_reduction",
+    "TECHNOLOGY_NODES",
+    "relative_error_rate",
+    "component_error_rate_series",
+    "system_error_probability",
+]

@@ -1,0 +1,37 @@
+"""Energy-delay-product helpers.
+
+The paper reports EDP *reductions of overheads*: e.g. Fig. 8 shows the EDP
+reduction of ReCkpt w.r.t. Ckpt, where the published numbers compose the
+time-overhead and energy-overhead reductions multiplicatively
+(1 − (1−r_t)(1−r_e)); we expose both the raw EDP and that composition.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_non_negative
+
+__all__ = ["edp", "edp_reduction", "combined_edp_reduction"]
+
+
+def edp(energy: float, delay: float) -> float:
+    """Plain energy × delay."""
+    check_non_negative("energy", energy)
+    check_non_negative("delay", delay)
+    return energy * delay
+
+
+def edp_reduction(baseline_edp: float, improved_edp: float) -> float:
+    """Fractional EDP reduction of ``improved`` w.r.t. ``baseline``."""
+    if baseline_edp <= 0:
+        raise ValueError("baseline EDP must be positive")
+    return 1.0 - improved_edp / baseline_edp
+
+
+def combined_edp_reduction(time_reduction: float, energy_reduction: float) -> float:
+    """Compose per-metric overhead reductions into an EDP reduction.
+
+    With overhead time reduced by ``r_t`` and overhead energy by ``r_e``,
+    the overhead EDP shrinks by ``1 − (1−r_t)(1−r_e)`` — this is how the
+    paper's Fig. 8 numbers relate to its Figs. 6 and 7.
+    """
+    return 1.0 - (1.0 - time_reduction) * (1.0 - energy_reduction)

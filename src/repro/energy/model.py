@@ -1,0 +1,76 @@
+"""Per-event energy model at 22 nm.
+
+Dynamic energies are picojoules per event; leakage is picojoules per
+nanosecond (i.e. watts × 10⁻³... strictly: 1 pJ/ns = 1 mW).  The ratios —
+not the absolute values — carry the reproduction: DRAM ≫ L2 > L1 ≫ ALU is
+the technology imbalance that makes recomputation attractive in the first
+place (paper §II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative
+
+__all__ = ["EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy constants for every countable event in the simulator."""
+
+    #: One ALU/MOVI operation (integer datapath + result bypass).
+    alu_op_pj: float = 1.1
+    #: Per-instruction fetch share (L1-I read amortised over fetch width).
+    ifetch_pj: float = 2.0
+    #: L1-D access (read or write).
+    l1d_access_pj: float = 10.0
+    #: L2 access.
+    l2_access_pj: float = 40.0
+    #: DRAM traffic, per byte (row activation amortised over a burst).
+    dram_pj_per_byte: float = 20.0
+    #: One NoC hop for one flit (coordination/coherence messages).
+    noc_hop_pj: float = 5.0
+    #: AddrMap / operand-buffer access (modelled after an L1-D-class SRAM,
+    #: but smaller — the paper models it "after L1-D").
+    addrmap_access_pj: float = 4.0
+    #: Checkpoint/recovery handler bookkeeping per handled record
+    #: (modelled after a cache-controller FSM transition).
+    handler_op_pj: float = 1.5
+    #: Register-file read/write (arch-state checkpointing).
+    regfile_access_pj: float = 0.5
+    #: Scratchpad access during scratchpad-mode recomputation (per slice
+    #: instruction: one operand read + one result write, small SRAM).
+    scratchpad_access_pj: float = 0.8
+    #: Core leakage, per core per nanosecond (1 pJ/ns == 1 mW).
+    core_leakage_pj_per_ns: float = 120.0
+    #: Uncore (caches, NoC, controllers) leakage per core per nanosecond.
+    uncore_leakage_pj_per_ns: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "alu_op_pj",
+            "ifetch_pj",
+            "l1d_access_pj",
+            "l2_access_pj",
+            "dram_pj_per_byte",
+            "noc_hop_pj",
+            "addrmap_access_pj",
+            "handler_op_pj",
+            "regfile_access_pj",
+            "scratchpad_access_pj",
+            "core_leakage_pj_per_ns",
+            "uncore_leakage_pj_per_ns",
+        ):
+            check_non_negative(name, getattr(self, name))
+
+    # -- composite helpers -------------------------------------------------
+    def dram_transfer_pj(self, num_bytes: int) -> float:
+        """Energy of a DRAM transfer of ``num_bytes``."""
+        return num_bytes * self.dram_pj_per_byte
+
+    def leakage_pj(self, num_cores: int, duration_ns: float) -> float:
+        """Total leakage of ``num_cores`` over ``duration_ns``."""
+        per_ns = (self.core_leakage_pj_per_ns + self.uncore_leakage_pj_per_ns)
+        return per_ns * num_cores * duration_ns

@@ -1,0 +1,86 @@
+"""Technology-scaling error-rate model (paper Fig. 1).
+
+Fig. 1 plots the *relative component error rate* under "8 % degradation
+per bit per generation" (Borkar, IEEE Micro'05): each technology generation
+multiplies a component's error rate by (1 + 0.08)^bits-growth; normalised
+to the oldest node, the relative rate across g generations is
+``(1 + degradation)^g`` per bit, compounded with the growth in bits per
+component.  We reproduce the figure's exponential shape and expose the
+system-level error probability used to motivate checkpointing frequency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.util.validation import check_in_range, check_non_negative, check_positive
+
+__all__ = [
+    "TECHNOLOGY_NODES",
+    "relative_error_rate",
+    "component_error_rate_series",
+    "system_error_probability",
+    "expected_errors",
+]
+
+#: Successive CMOS nodes (nm), oldest first — one *generation* per step.
+TECHNOLOGY_NODES: Tuple[int, ...] = (180, 130, 90, 65, 45, 32, 22, 16, 11)
+
+#: Borkar's figure: 8 % degradation per bit per generation.
+DEFAULT_DEGRADATION = 0.08
+
+
+def relative_error_rate(
+    generations: int, degradation: float = DEFAULT_DEGRADATION, bits_growth: float = 2.0
+) -> float:
+    """Relative component error rate after ``generations`` node steps.
+
+    Per-bit degradation compounds by ``(1+degradation)`` per generation and
+    the number of bits per fixed-area component grows by ``bits_growth``
+    per generation (Moore scaling), so the component-level relative rate is
+    ``((1+degradation) * bits_growth)^g / bits_growth^g``-normalised — i.e.
+    per *component of constant function*, rate ∝ (1+degradation)^g, and per
+    *component of constant area*, rate ∝ ((1+degradation)·bits_growth)^g.
+    We report the constant-function component rate, matching Fig. 1's
+    modest exponential.
+    """
+    check_non_negative("generations", generations)
+    check_in_range("degradation", degradation, 0.0, 1.0)
+    check_positive("bits_growth", bits_growth)
+    return (1.0 + degradation) ** generations
+
+
+def component_error_rate_series(
+    nodes: Sequence[int] = TECHNOLOGY_NODES,
+    degradation: float = DEFAULT_DEGRADATION,
+) -> List[Tuple[int, float]]:
+    """(node_nm, relative rate) pairs — the Fig. 1 series."""
+    return [
+        (node, relative_error_rate(g, degradation)) for g, node in enumerate(nodes)
+    ]
+
+
+def system_error_probability(
+    component_rate_per_s: float, num_components: int, duration_s: float
+) -> float:
+    """Probability of at least one error system-wide within ``duration_s``.
+
+    Independent Poisson components: ``1 − exp(−λ·n·t)``.  This is the
+    "more components ⇒ higher system error probability" argument from the
+    paper's introduction.
+    """
+    check_non_negative("component_rate_per_s", component_rate_per_s)
+    check_positive("num_components", num_components)
+    check_non_negative("duration_s", duration_s)
+    return 1.0 - math.exp(-component_rate_per_s * num_components * duration_s)
+
+
+def expected_errors(
+    component_rate_per_s: float, num_components: int, duration_s: float
+) -> float:
+    """Expected number of errors system-wide within ``duration_s``."""
+    check_non_negative("component_rate_per_s", component_rate_per_s)
+    check_positive("num_components", num_components)
+    check_non_negative("duration_s", duration_s)
+    return component_rate_per_s * num_components * duration_s

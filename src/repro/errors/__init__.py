@@ -1,0 +1,29 @@
+"""Error modelling: fail-stop errors with non-zero detection latency.
+
+The paper assumes a fail-stop model where data memory and checkpoint logs
+are protected (ECC / chipkill) and errors strike the cores.  Detection is
+not instantaneous: an error may slip past a checkpoint establishment, which
+corrupts that checkpoint and forces rollback to the *second* most recent
+one (paper Fig. 2).  Keeping the detection latency no longer than the
+checkpoint period bounds retention to two checkpoints.
+"""
+
+from repro.errors.model import ErrorModel, ErrorOccurrence
+from repro.errors.injection import (
+    ErrorSchedule,
+    NoErrors,
+    PoissonErrors,
+    UniformErrors,
+)
+from repro.errors.detection import SafeCheckpointChoice, choose_safe_checkpoint
+
+__all__ = [
+    "ErrorModel",
+    "ErrorOccurrence",
+    "ErrorSchedule",
+    "NoErrors",
+    "UniformErrors",
+    "PoissonErrors",
+    "SafeCheckpointChoice",
+    "choose_safe_checkpoint",
+]

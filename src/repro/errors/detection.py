@@ -1,0 +1,57 @@
+"""Safe-checkpoint selection (paper Fig. 2).
+
+A checkpoint established *after* an error occurred but *before* it was
+detected may have captured corrupted state; recovery must target the most
+recent checkpoint established at or before the error occurrence.  With
+detection latency bounded by the checkpoint period, that checkpoint is at
+worst the second most recent — which is exactly why the BER baseline
+retains two.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors.model import ErrorOccurrence
+
+__all__ = ["SafeCheckpointChoice", "choose_safe_checkpoint"]
+
+
+@dataclass(frozen=True, slots=True)
+class SafeCheckpointChoice:
+    """Outcome of safe-checkpoint selection.
+
+    ``checkpoint_index`` is the index into the checkpoint-time list
+    (−1 means "roll back to the initial state": no checkpoint precedes the
+    error).  ``skipped_corrupted`` is true when a younger checkpoint
+    existed but was suspect (Fig. 2's Ckpt2 case).
+    """
+
+    checkpoint_index: int
+    skipped_corrupted: bool
+
+
+def choose_safe_checkpoint(
+    error: ErrorOccurrence, checkpoint_times: Sequence[float]
+) -> SafeCheckpointChoice:
+    """Pick the rollback target for ``error``.
+
+    ``checkpoint_times`` are establishment times, ascending.  A checkpoint
+    is *safe* iff it was established at or before the error occurred; any
+    checkpoint in ``(occurred, detected]`` is suspect.  Checkpoints are
+    only considered if established before detection (later ones cannot
+    exist yet at recovery time).
+    """
+    times = list(checkpoint_times)
+    if sorted(times) != times:
+        raise ValueError("checkpoint_times must be ascending")
+    # Checkpoints established strictly before detection exist at recovery.
+    existing = bisect.bisect_right(times, error.detected_ns)
+    # Safe ones were established at or before the occurrence.
+    safe = bisect.bisect_right(times, error.occurred_ns, 0, existing)
+    return SafeCheckpointChoice(
+        checkpoint_index=safe - 1,
+        skipped_corrupted=(existing > safe),
+    )

@@ -1,0 +1,79 @@
+"""Error-injection schedules.
+
+A schedule maps the base (error-free, useful-work) execution time to the
+list of error occurrence times.  The paper's evaluation uses uniformly
+distributed errors ("we assume that the errors in each case are uniformly
+distributed over the execution"); a Poisson schedule is provided as the
+natural stochastic alternative for the extension benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol
+
+from repro.util.rng import DeterministicRng
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["ErrorSchedule", "NoErrors", "UniformErrors", "PoissonErrors"]
+
+
+class ErrorSchedule(Protocol):
+    """Produces error occurrence times for a run of given useful length."""
+
+    def occurrence_times(self, total_useful_ns: float) -> List[float]:
+        """Error times in ns of *useful work progress* (monotonic)."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoErrors:
+    """Error-free execution (the NE configurations)."""
+
+    def occurrence_times(self, total_useful_ns: float) -> List[float]:
+        """No errors, ever."""
+        return []
+
+
+@dataclass(frozen=True)
+class UniformErrors:
+    """``count`` errors evenly spread over the execution.
+
+    Error ``i`` (1-based) strikes at ``i / (count+1)`` of the useful-work
+    timeline — e.g. a single error lands mid-run, matching the paper's
+    single-error headline configuration.
+    """
+
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("count", self.count)
+
+    def occurrence_times(self, total_useful_ns: float) -> List[float]:
+        check_non_negative("total_useful_ns", total_useful_ns)
+        step = total_useful_ns / (self.count + 1)
+        return [step * i for i in range(1, self.count + 1)]
+
+
+@dataclass(frozen=True)
+class PoissonErrors:
+    """Poisson arrivals with a mean of ``expected_count`` errors per run."""
+
+    expected_count: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("expected_count", self.expected_count)
+
+    def occurrence_times(self, total_useful_ns: float) -> List[float]:
+        check_non_negative("total_useful_ns", total_useful_ns)
+        if total_useful_ns == 0:
+            return []
+        rng = DeterministicRng(self.seed, "poisson-errors")
+        rate = self.expected_count / total_useful_ns
+        times: List[float] = []
+        t = rng.expovariate(rate)
+        while t < total_useful_ns:
+            times.append(t)
+            t += rng.expovariate(rate)
+        return times

@@ -1,0 +1,64 @@
+"""Fail-stop error model with detection latency.
+
+``ErrorModel`` turns an occurrence time into a detection time.  The
+detection latency is expressed as a fraction of the checkpoint period
+(the paper's standing assumption is latency ≤ period, which makes two
+retained checkpoints sufficient).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_in_range, check_non_negative
+
+__all__ = ["ErrorModel", "ErrorOccurrence"]
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorOccurrence:
+    """One error: when it struck and when the system noticed."""
+
+    occurred_ns: float
+    detected_ns: float
+
+    def __post_init__(self) -> None:
+        if self.detected_ns < self.occurred_ns:
+            raise ValueError("an error cannot be detected before it occurs")
+
+    @property
+    def detection_latency_ns(self) -> float:
+        """Lag between occurrence and detection."""
+        return self.detected_ns - self.occurred_ns
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Maps error occurrences to detections.
+
+    ``detection_latency_fraction`` is the detection latency as a fraction
+    of the checkpoint period; values above 1.0 would violate the paper's
+    two-checkpoint-retention assumption and are rejected.
+    """
+
+    detection_latency_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_in_range(
+            "detection_latency_fraction", self.detection_latency_fraction, 0.0, 1.0
+        )
+
+    def detection_latency_ns(self, checkpoint_period_ns: float) -> float:
+        """Absolute detection latency for a given checkpoint period."""
+        check_non_negative("checkpoint_period_ns", checkpoint_period_ns)
+        return self.detection_latency_fraction * checkpoint_period_ns
+
+    def occurrence(
+        self, occurred_ns: float, checkpoint_period_ns: float
+    ) -> ErrorOccurrence:
+        """Build the occurrence record for an error at ``occurred_ns``."""
+        check_non_negative("occurred_ns", occurred_ns)
+        return ErrorOccurrence(
+            occurred_ns,
+            occurred_ns + self.detection_latency_ns(checkpoint_period_ns),
+        )

@@ -1,0 +1,116 @@
+"""The nine evaluated configurations (paper §IV).
+
+=============== ======= ===== ======
+name            scheme  ACR   errors
+=============== ======= ===== ======
+NoCkpt          none    no    no
+Ckpt_NE         global  no    no
+Ckpt_E          global  no    yes
+ReCkpt_NE       global  yes   no
+ReCkpt_E        global  yes   yes
+Ckpt_NE_Loc     local   no    no
+Ckpt_E_Loc      local   no    yes
+ReCkpt_NE_Loc   local   yes   no
+ReCkpt_E_Loc    local   yes   yes
+=============== ======= ===== ======
+
+``make_options`` turns a configuration name plus experiment knobs
+(checkpoint count, error count, slice threshold) into
+:class:`~repro.sim.simulator.SimulationOptions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.compiler.policy import SelectionPolicy, ThresholdPolicy
+from repro.errors.injection import NoErrors, UniformErrors
+from repro.errors.model import ErrorModel
+from repro.sim.results import BaselineProfile
+from repro.sim.simulator import SimulationOptions
+from repro.util.validation import check_positive
+
+__all__ = ["CONFIG_NAMES", "ConfigRequest", "make_options"]
+
+CONFIG_NAMES: Tuple[str, ...] = (
+    "NoCkpt",
+    "Ckpt_NE",
+    "Ckpt_E",
+    "ReCkpt_NE",
+    "ReCkpt_E",
+    "Ckpt_NE_Loc",
+    "Ckpt_E_Loc",
+    "ReCkpt_NE_Loc",
+    "ReCkpt_E_Loc",
+)
+
+
+@dataclass(frozen=True)
+class ConfigRequest:
+    """A configuration name plus its experiment knobs (a cache key)."""
+
+    config: str
+    num_checkpoints: int = 25
+    error_count: int = 1
+    threshold: int = 10
+
+    def __post_init__(self) -> None:
+        if self.config not in CONFIG_NAMES:
+            raise ValueError(
+                f"unknown configuration {self.config!r}; "
+                f"pick one of {CONFIG_NAMES}"
+            )
+        check_positive("num_checkpoints", self.num_checkpoints)
+        check_positive("error_count", self.error_count)
+        check_positive("threshold", self.threshold)
+
+    @property
+    def is_baseline(self) -> bool:
+        """True for the checkpoint-free NoCkpt configuration."""
+        return self.config == "NoCkpt"
+
+    @property
+    def scheme(self) -> str:
+        """Checkpointing scheme implied by the name."""
+        if self.config == "NoCkpt":
+            return "none"
+        return "local" if self.config.endswith("_Loc") else "global"
+
+    @property
+    def acr(self) -> bool:
+        """Whether ACR (recomputation) is enabled."""
+        return self.config.startswith("ReCkpt")
+
+    @property
+    def with_errors(self) -> bool:
+        """Whether errors are injected."""
+        return "_E" in self.config and not self.config.startswith("NoCkpt")
+
+
+def make_options(
+    request: ConfigRequest,
+    baseline: Optional[BaselineProfile],
+    error_model: Optional[ErrorModel] = None,
+    slice_policy: Optional[SelectionPolicy] = None,
+) -> SimulationOptions:
+    """Build the simulator options for one configuration request."""
+    if request.is_baseline:
+        return SimulationOptions(label=request.config, scheme="none")
+    errors = (
+        UniformErrors(request.error_count) if request.with_errors else NoErrors()
+    )
+    return SimulationOptions(
+        label=request.config,
+        scheme=request.scheme,
+        acr=request.acr,
+        num_checkpoints=request.num_checkpoints,
+        slice_policy=(
+            slice_policy
+            if slice_policy is not None
+            else (ThresholdPolicy(request.threshold) if request.acr else None)
+        ),
+        errors=errors,
+        error_model=error_model or ErrorModel(),
+        baseline=baseline,
+    )

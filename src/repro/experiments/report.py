@@ -1,0 +1,79 @@
+"""Full paper regeneration: every figure and table in one report.
+
+``python -m repro.experiments.report [--scale S] [--cores N]`` prints the
+whole evaluation section.  The benchmark harness calls the same
+generators; this entry point exists for humans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional
+
+from repro.experiments.figures import (
+    fig1_error_rate,
+    fig6_time_overhead,
+    fig7_energy_overhead,
+    fig8_edp_reduction,
+    fig9_checkpoint_size,
+    fig10_temporal,
+    fig11_error_sweep,
+    fig12_frequency_sweep,
+    fig13_local,
+    scalability,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables_ import table1_configuration, table2_threshold_sweep
+
+__all__ = ["generate_report", "main"]
+
+
+def generate_report(
+    runner: Optional[ExperimentRunner] = None,
+    include_scalability: bool = False,
+    stream=sys.stdout,
+) -> None:
+    """Print every reproduced artifact to ``stream``."""
+    runner = runner or ExperimentRunner()
+
+    def emit(text: str) -> None:
+        print(text, file=stream)
+        print("", file=stream)
+
+    t0 = time.time()
+    emit(table1_configuration(runner.machine))
+    emit(fig1_error_rate().render())
+    emit(fig6_time_overhead(runner).render())
+    emit(fig7_energy_overhead(runner).render())
+    emit(fig8_edp_reduction(runner).render())
+    emit(fig9_checkpoint_size(runner).render())
+    emit(table2_threshold_sweep(runner).render())
+    emit(fig10_temporal(runner).render())
+    emit(fig11_error_sweep(runner).render())
+    emit(fig12_frequency_sweep(runner).render())
+    emit(fig13_local(runner).render())
+    if include_scalability:
+        emit(scalability().render())
+    emit(f"[report generated in {time.time() - t0:.1f}s]")
+
+
+def main(argv=None) -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload region scale (speed knob)")
+    parser.add_argument("--cores", type=int, default=8)
+    parser.add_argument("--reps", type=int, default=None)
+    parser.add_argument("--scalability", action="store_true",
+                        help="include the 8/16/32-core study (slow)")
+    args = parser.parse_args(argv)
+    runner = ExperimentRunner(
+        num_cores=args.cores, region_scale=args.scale, reps=args.reps
+    )
+    generate_report(runner, include_scalability=args.scalability)
+
+
+if __name__ == "__main__":
+    main()

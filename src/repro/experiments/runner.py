@@ -1,0 +1,123 @@
+"""The experiment runner: shared, memoised simulation runs.
+
+Every figure/table generator needs the same small set of runs (e.g. the
+Fig. 6/7/8 trio shares the NoCkpt/Ckpt/ReCkpt runs per benchmark); the
+runner builds each workload's programs once and caches results keyed by
+the full configuration request, so regenerating all paper artifacts costs
+each distinct simulation exactly once per process.
+
+Scale knobs: ``region_scale``/``reps`` shrink the workloads uniformly —
+overheads and reductions are ratios, so they are stable across scales
+(tests pin this).  The benchmark harness uses a moderate default scale to
+keep a full paper regeneration to minutes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.config import MachineConfig
+from repro.experiments.configs import ConfigRequest, make_options
+from repro.isa.program import Program
+from repro.sim.results import RunResult, energy_overhead, time_overhead
+from repro.sim.simulator import Simulator
+from repro.util.validation import check_positive
+from repro.workloads.registry import all_workload_names, get_workload
+
+__all__ = ["ExperimentRunner"]
+
+
+class ExperimentRunner:
+    """Runs (workload, configuration) pairs with memoisation."""
+
+    def __init__(
+        self,
+        num_cores: int = 8,
+        region_scale: float = 1.0,
+        reps: Optional[int] = None,
+        machine: Optional[MachineConfig] = None,
+    ) -> None:
+        check_positive("num_cores", num_cores)
+        check_positive("region_scale", region_scale)
+        self.num_cores = num_cores
+        self.region_scale = region_scale
+        self.reps = reps
+        self.machine = machine or MachineConfig(num_cores=num_cores)
+        if self.machine.num_cores != num_cores:
+            raise ValueError("machine config core count mismatch")
+        self._programs: Dict[str, List[Program]] = {}
+        self._simulators: Dict[str, Simulator] = {}
+        self._results: Dict[Tuple[str, ConfigRequest], RunResult] = {}
+
+    # -- infrastructure ------------------------------------------------------
+    def simulator(self, workload: str) -> Simulator:
+        """The (cached) simulator for a workload."""
+        if workload not in self._simulators:
+            spec = get_workload(workload)
+            programs = spec.build_programs(
+                self.num_cores,
+                region_scale=self.region_scale,
+                reps=self.reps,
+            )
+            self._programs[workload] = programs
+            self._simulators[workload] = Simulator(programs, self.machine)
+        return self._simulators[workload]
+
+    def default_threshold(self, workload: str) -> int:
+        """The paper's per-benchmark slice threshold (10; 5 for ``is``)."""
+        return get_workload(workload).default_threshold
+
+    # -- runs ---------------------------------------------------------------
+    def run(self, workload: str, request: ConfigRequest) -> RunResult:
+        """Run (or fetch) one configuration of one workload."""
+        key = (workload, request)
+        if key in self._results:
+            return self._results[key]
+        sim = self.simulator(workload)
+        baseline = None
+        if not request.is_baseline:
+            baseline = self.baseline(workload).baseline_profile()
+        options = make_options(request, baseline)
+        result = sim.run(options)
+        self._results[key] = result
+        return result
+
+    def baseline(self, workload: str) -> RunResult:
+        """The NoCkpt run of a workload."""
+        return self.run(workload, ConfigRequest("NoCkpt"))
+
+    def run_default(
+        self,
+        workload: str,
+        config: str,
+        num_checkpoints: int = 25,
+        error_count: int = 1,
+        threshold: Optional[int] = None,
+    ) -> RunResult:
+        """Run a named configuration with the benchmark's default threshold."""
+        return self.run(
+            workload,
+            ConfigRequest(
+                config,
+                num_checkpoints=num_checkpoints,
+                error_count=error_count,
+                threshold=(
+                    threshold
+                    if threshold is not None
+                    else self.default_threshold(workload)
+                ),
+            ),
+        )
+
+    # -- derived metrics ------------------------------------------------------
+    def time_overhead(self, workload: str, request: ConfigRequest) -> float:
+        """Fractional time overhead of a configuration w.r.t. NoCkpt."""
+        return time_overhead(self.run(workload, request), self.baseline(workload))
+
+    def energy_overhead(self, workload: str, request: ConfigRequest) -> float:
+        """Fractional energy overhead of a configuration w.r.t. NoCkpt."""
+        return energy_overhead(self.run(workload, request), self.baseline(workload))
+
+    def workloads(self) -> List[str]:
+        """All benchmark names."""
+        return all_workload_names()

@@ -1,0 +1,66 @@
+"""Paper table generators (Tables I and II).
+
+Named ``tables_`` (trailing underscore) to avoid shadowing
+:mod:`repro.util.tables`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.arch.config import MachineConfig
+from repro.experiments.configs import ConfigRequest
+from repro.experiments.figures import FigureResult, _pct
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = ["table1_configuration", "table2_threshold_sweep", "PAPER_TABLE2"]
+
+#: The paper's Table II (total checkpoint-size reduction %, thresholds
+#: 10..50) — kept here so reports can print paper-vs-measured side by side.
+PAPER_TABLE2: Dict[str, Sequence[float]] = {
+    "bt": (36.54, 45.14, 85.36, 88.36, 89.91),
+    "cg": (6.99, 67.06, 89.71, 89.82, 89.82),
+    "ft": (23.27, 70.65, 88.45, 99.53, 99.70),
+    "is": (97.39, 97.42, 99.54, 99.54, 99.54),
+    "lu": (42.69, 46.65, 64.43, 74.69, 81.11),
+    "mg": (11.58, 19.65, 87.96, 90.34, 90.22),
+    "sp": (37.43, 47.93, 71.83, 93.83, 96.08),
+}
+
+
+def table1_configuration(config: MachineConfig | None = None) -> str:
+    """Table I: the simulated architecture."""
+    return (config or MachineConfig()).describe()
+
+
+def table2_threshold_sweep(
+    runner: ExperimentRunner, thresholds: Sequence[int] = (10, 20, 30, 40, 50)
+) -> FigureResult:
+    """Table II: total checkpoint-size reduction vs Slice-length threshold.
+
+    Reduction must be non-decreasing in the threshold (a higher threshold
+    embeds a superset of slices) — a property test pins this.
+    """
+    rows: List[List[object]] = []
+    series: Dict[str, List[float]] = {}
+    for wl in runner.workloads():
+        ck = runner.run_default(wl, "Ckpt_NE")
+        reductions = []
+        for thr in thresholds:
+            re = runner.run(wl, ConfigRequest("ReCkpt_NE", threshold=thr))
+            reductions.append(
+                1 - re.total_checkpoint_bytes / ck.total_checkpoint_bytes
+            )
+        series[wl] = reductions
+        row: List[object] = [wl] + [_pct(r) for r in reductions]
+        paper = PAPER_TABLE2.get(wl)
+        row.append(" ".join(f"{v:.1f}" for v in paper) if paper else "n/a")
+        rows.append(row)
+    return FigureResult(
+        name="Table II: checkpoint size reduction vs Slice-length threshold",
+        headers=["bench"]
+        + [f"thr={t} %" for t in thresholds]
+        + ["paper (10..50)"],
+        rows=rows,
+        series=series,
+    )

@@ -1,0 +1,60 @@
+"""A small RISC-like intermediate representation (IR).
+
+The reproduction interprets real programs: workload generators emit
+:class:`~repro.isa.program.Program` objects (lists of loop kernels over
+virtual registers with affine address streams), the compiler pass slices
+them, and the simulator executes them instruction by instruction, producing
+genuine data values. Recomputation correctness is therefore checkable: a
+Slice re-executed with its buffered operands must reproduce the exact value
+the original store wrote.
+
+Design notes
+------------
+* Values are 64-bit unsigned integers with wrap-around arithmetic.
+* Addresses are byte addresses, always 8-byte (word) aligned; cache lines
+  are 64 bytes (8 words).
+* Loops are represented as kernels with a trip count; the *body* is a
+  straight-line sequence, so backward slicing is per-iteration.  A value
+  chain that crosses iterations (an accumulator) is loop-carried and is,
+  by construction, not sliceable — mirroring the paper's observation that
+  aggressive unrolling has a practical limit.
+"""
+
+from repro.isa.opcodes import ALU_OPCODES, Opcode
+from repro.isa.instructions import (
+    AddressPattern,
+    AluInstr,
+    Instruction,
+    LoadInstr,
+    MoviInstr,
+    StoreInstr,
+    WORD_BYTES,
+    LINE_BYTES,
+    WORDS_PER_LINE,
+)
+from repro.isa.program import Kernel, Program, StoreSite
+from repro.isa.builder import KernelBuilder, chain_kernel
+from repro.isa.interpreter import Interpreter, MemoryImage, StoreEvent, LoadEvent
+
+__all__ = [
+    "Opcode",
+    "ALU_OPCODES",
+    "AddressPattern",
+    "AluInstr",
+    "Instruction",
+    "LoadInstr",
+    "MoviInstr",
+    "StoreInstr",
+    "WORD_BYTES",
+    "LINE_BYTES",
+    "WORDS_PER_LINE",
+    "Kernel",
+    "Program",
+    "StoreSite",
+    "KernelBuilder",
+    "chain_kernel",
+    "Interpreter",
+    "MemoryImage",
+    "StoreEvent",
+    "LoadEvent",
+]

@@ -1,0 +1,113 @@
+"""Instruction dataclasses and address patterns.
+
+Registers are small non-negative integers, local to a kernel body (the
+builder allocates them).  Memory instructions carry an
+:class:`AddressPattern` that maps the loop induction variable to a byte
+address, which is how the workload generators express array traversals
+without the interpreter having to model index arithmetic instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = [
+    "WORD_BYTES",
+    "LINE_BYTES",
+    "WORDS_PER_LINE",
+    "AddressPattern",
+    "MoviInstr",
+    "AluInstr",
+    "LoadInstr",
+    "StoreInstr",
+    "Instruction",
+]
+
+#: Word size (all values are 64-bit) and cache-line size in bytes.
+WORD_BYTES = 8
+LINE_BYTES = 64
+WORDS_PER_LINE = LINE_BYTES // WORD_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class AddressPattern:
+    """Affine address stream over a bounded region.
+
+    The address for loop iteration ``i`` is::
+
+        base + ((offset + i * stride) % length) * WORD_BYTES
+
+    where ``stride``, ``offset`` and ``length`` are in words.  ``length``
+    bounds the touched region, so a kernel's working set is explicit.
+    """
+
+    base: int
+    stride: int
+    length: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        check_non_negative("base", self.base)
+        check_positive("length", self.length)
+        check_non_negative("offset", self.offset)
+        if self.base % WORD_BYTES:
+            raise ValueError(f"base must be word aligned, got {self.base}")
+
+    def address(self, iteration: int) -> int:
+        """Byte address touched at ``iteration``."""
+        word = (self.offset + iteration * self.stride) % self.length
+        return self.base + word * WORD_BYTES
+
+    def footprint_words(self, trip_count: int) -> int:
+        """Number of distinct words touched over ``trip_count`` iterations."""
+        if self.stride == 0:
+            return 1
+        return min(self.length, trip_count)
+
+
+@dataclass(frozen=True, slots=True)
+class MoviInstr:
+    """``dst <- immediate``"""
+
+    dst: int
+    imm: int
+
+
+@dataclass(frozen=True, slots=True)
+class AluInstr:
+    """``dst <- op(src_a, src_b)`` for a binary ALU opcode."""
+
+    op: "object"  # Opcode; typed loosely to avoid a circular import at runtime
+    dst: int
+    src_a: int
+    src_b: int
+
+
+@dataclass(frozen=True, slots=True)
+class LoadInstr:
+    """``dst <- mem[pattern.address(i)]``"""
+
+    dst: int
+    pattern: AddressPattern
+
+
+@dataclass(frozen=True, slots=True)
+class StoreInstr:
+    """``mem[pattern.address(i)] <- src``
+
+    ``site`` is the program-unique static store-site id, assigned by
+    :class:`~repro.isa.program.Program`; the compiler pass keys Slice
+    lookups on it.  ``assoc`` is set by the embedding pass when the store
+    carries an ``ASSOC-ADDR`` companion instruction.
+    """
+
+    src: int
+    pattern: AddressPattern
+    site: int = -1
+    assoc: bool = False
+
+
+Instruction = Union[MoviInstr, AluInstr, LoadInstr, StoreInstr]

@@ -1,0 +1,101 @@
+"""Opcode definitions and arithmetic semantics for the IR.
+
+All arithmetic is over 64-bit unsigned integers with wrap-around, which
+keeps interpretation fast (plain Python ints masked to 64 bits) while still
+producing *real*, order-sensitive values — the property recomputation
+correctness tests rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict
+
+__all__ = ["Opcode", "ALU_OPCODES", "apply_alu", "MASK64"]
+
+MASK64 = (1 << 64) - 1
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes.
+
+    ``MOVI`` materialises an immediate; the remaining ALU opcodes are
+    binary.  ``LOAD``/``STORE`` are the only memory opcodes; ``ASSOC_ADDR``
+    is the paper's special instruction that associates a store's effective
+    address with its Slice (executed atomically with the store — in our IR
+    it is a flag on :class:`~repro.isa.instructions.StoreInstr` rather than
+    a separate instruction object, but it is costed as an instruction).
+    """
+
+    MOVI = "movi"
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    LOAD = "load"
+    STORE = "store"
+    ASSOC_ADDR = "assoc_addr"
+
+
+def _add(a: int, b: int) -> int:
+    return (a + b) & MASK64
+
+
+def _sub(a: int, b: int) -> int:
+    return (a - b) & MASK64
+
+
+def _mul(a: int, b: int) -> int:
+    return (a * b) & MASK64
+
+
+def _and(a: int, b: int) -> int:
+    return a & b
+
+
+def _or(a: int, b: int) -> int:
+    return a | b
+
+
+def _xor(a: int, b: int) -> int:
+    return a ^ b
+
+
+def _shl(a: int, b: int) -> int:
+    return (a << (b & 63)) & MASK64
+
+
+def _shr(a: int, b: int) -> int:
+    return a >> (b & 63)
+
+
+_BINARY_SEMANTICS: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: _add,
+    Opcode.SUB: _sub,
+    Opcode.MUL: _mul,
+    Opcode.AND: _and,
+    Opcode.OR: _or,
+    Opcode.XOR: _xor,
+    Opcode.SHL: _shl,
+    Opcode.SHR: _shr,
+}
+
+#: The binary ALU opcodes eligible to appear inside a Slice.
+ALU_OPCODES = frozenset(_BINARY_SEMANTICS)
+
+#: Opcode -> evaluation function; the interpreter's precompiled dispatch
+#: uses this to bind semantics once per kernel instead of per instruction.
+BINARY_SEMANTICS = _BINARY_SEMANTICS
+
+
+def apply_alu(op: Opcode, a: int, b: int) -> int:
+    """Evaluate a binary ALU opcode over two 64-bit values."""
+    try:
+        return _BINARY_SEMANTICS[op](a, b)
+    except KeyError:
+        raise ValueError(f"{op} is not a binary ALU opcode") from None

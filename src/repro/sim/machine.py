@@ -1,0 +1,62 @@
+"""Machine assembly: one object owning every microarchitectural component.
+
+A :class:`Machine` is built per run (caches and directories carry run
+state).  It owns the functional memory image, the per-core cache
+hierarchies and timing models, the shared directory, memory controllers,
+NoC, and the energy ledger the run accumulates into.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch.config import MachineConfig
+from repro.arch.core import CoreTimingModel
+from repro.arch.directory import Directory
+from repro.arch.hierarchy import CoreCacheHierarchy
+from repro.arch.memctrl import MemorySystem
+from repro.arch.noc import MeshNoc
+from repro.energy.accounting import EnergyLedger
+from repro.energy.model import EnergyModel
+from repro.isa.interpreter import MemoryImage
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """One simulated machine instance (per-run state)."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        energy_model: EnergyModel | None = None,
+        memory_seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.energy_model = energy_model or EnergyModel()
+        self.memory = MemoryImage(memory_seed)
+        self.hierarchies: List[CoreCacheHierarchy] = [
+            CoreCacheHierarchy(config) for _ in range(config.num_cores)
+        ]
+        self.directory = Directory(config.num_cores)
+        self.memsys = MemorySystem(config)
+        self.noc = MeshNoc(config)
+        self.timing = CoreTimingModel(config)
+        self.ledger = EnergyLedger()
+
+    # -- aggregate cache statistics ------------------------------------------
+    def l1d_accesses(self) -> int:
+        """Total L1-D accesses across cores."""
+        return sum(h.l1d.accesses for h in self.hierarchies)
+
+    def l2_accesses(self) -> int:
+        """Total L2 accesses across cores."""
+        return sum(h.l2.accesses for h in self.hierarchies)
+
+    def memory_accesses(self) -> int:
+        """Total demand line fills from memory."""
+        return sum(h.memory_accesses for h in self.hierarchies)
+
+    def writebacks(self) -> int:
+        """Total dirty-line write-backs (evictions + flushes)."""
+        return sum(h.writebacks for h in self.hierarchies)

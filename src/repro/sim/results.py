@@ -1,0 +1,216 @@
+"""Run statistics and derived metrics.
+
+A :class:`RunResult` captures everything the experiment harness needs:
+wall/useful time, the energy ledger, per-interval checkpoint statistics,
+per-recovery cost breakdowns, and the compile-pass summary.  The derived
+metrics (:func:`time_overhead`, :func:`energy_overhead`,
+:meth:`RunResult.overhead_edp`) are the quantities the paper's figures
+plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.compiler.embed import CompileStats
+from repro.energy.accounting import EnergyLedger
+
+__all__ = [
+    "BaselineProfile",
+    "IntervalStats",
+    "RecoveryStats",
+    "RunResult",
+    "time_overhead",
+    "energy_overhead",
+]
+
+
+@dataclass(frozen=True)
+class BaselineProfile:
+    """Per-core useful execution profile of an error-free, checkpoint-free
+    run; checkpoint boundaries and error times are placed against it."""
+
+    per_core_useful_ns: List[float]
+
+    @property
+    def useful_ns(self) -> float:
+        """Critical-path useful time (slowest core)."""
+        return max(self.per_core_useful_ns)
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalStats:
+    """One checkpoint interval's statistics."""
+
+    index: int
+    useful_ns: float
+    logged_records: int
+    omitted_records: int
+    logged_bytes: int
+    omitted_bytes: int
+    flushed_bytes: int
+    boundary_ns: float
+    clusters: int
+    #: Total bytes of memory ever written by this point of the run — the
+    #: size a traditional full-snapshot checkpoint would have to copy.
+    footprint_bytes: int = 0
+
+    @property
+    def baseline_bytes(self) -> int:
+        """What the baseline would have logged for this interval."""
+        return self.logged_bytes + self.omitted_bytes
+
+    @property
+    def reduction(self) -> float:
+        """Fractional checkpoint-data reduction ACR achieved here."""
+        if self.baseline_bytes == 0:
+            return 0.0
+        return self.omitted_bytes / self.baseline_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryStats:
+    """One recovery's statistics."""
+
+    error_index: int
+    occurred_useful_ns: float
+    detected_useful_ns: float
+    safe_checkpoint: int
+    skipped_corrupted: bool
+    participants: int
+    waste_ns: float
+    rollback_ns: float
+    recompute_ns: float
+    restored_records: int
+    recomputed_values: int
+    recompute_instructions: int
+
+    @property
+    def total_ns(self) -> float:
+        """Full cost of this recovery (Eq. 2 / Eq. 3 per-event term)."""
+        return self.waste_ns + self.rollback_ns + self.recompute_ns
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation run produced."""
+
+    label: str
+    scheme: str
+    acr: bool
+    num_cores: int
+    wall_ns: float
+    per_core_useful_ns: List[float]
+    per_core_overhead_ns: List[float]
+    energy: EnergyLedger
+    intervals: List[IntervalStats]
+    recoveries: List[RecoveryStats]
+    instructions: int
+    alu_ops: int
+    loads: int
+    stores: int
+    assoc_ops: int
+    l1d_accesses: int
+    l2_accesses: int
+    memory_accesses: int
+    writebacks: int
+    compile_stats: Optional[CompileStats]
+    addrmap_records: int
+    addrmap_rejections: int
+    omissions: int
+    omission_lookups: int
+    #: The run's checkpoint store (logs pruned to the retention horizon).
+    #: Kept for post-run verification: tests recompute every retained
+    #: omitted value and compare against ground truth.
+    checkpoint_store: object = None
+
+    # -- core quantities -----------------------------------------------------
+    @property
+    def useful_ns(self) -> float:
+        """Critical-path useful time."""
+        return max(self.per_core_useful_ns)
+
+    @property
+    def overhead_ns(self) -> float:
+        """Critical-path overhead time (wall − useful)."""
+        return self.wall_ns - self.useful_ns
+
+    @property
+    def energy_pj(self) -> float:
+        """Total run energy."""
+        return self.energy.total_pj()
+
+    def baseline_profile(self) -> BaselineProfile:
+        """Profile for boundary/error placement of dependent runs."""
+        return BaselineProfile(list(self.per_core_useful_ns))
+
+    # -- checkpoint statistics -------------------------------------------------
+    @property
+    def checkpoint_count(self) -> int:
+        """Checkpoints established."""
+        return len(self.intervals)
+
+    @property
+    def total_checkpoint_bytes(self) -> int:
+        """Total logged checkpoint data (ACR omissions excluded)."""
+        return sum(iv.logged_bytes for iv in self.intervals)
+
+    @property
+    def total_baseline_checkpoint_bytes(self) -> int:
+        """Checkpoint data a non-ACR baseline would have logged."""
+        return sum(iv.baseline_bytes for iv in self.intervals)
+
+    @property
+    def max_checkpoint_bytes(self) -> int:
+        """Largest single checkpoint (paper Fig. 9 'Max' metric)."""
+        return max((iv.logged_bytes for iv in self.intervals), default=0)
+
+    @property
+    def checkpoint_time_ns(self) -> float:
+        """Boundary time plus in-interval log-write stalls (critical path).
+
+        This is the o_chk component attributable to checkpointing; it is
+        folded into per-core overhead already — exposed here for reports.
+        """
+        return sum(iv.boundary_ns for iv in self.intervals)
+
+    # -- recovery statistics ----------------------------------------------------
+    @property
+    def recovery_count(self) -> int:
+        """Recoveries performed."""
+        return len(self.recoveries)
+
+    @property
+    def recovery_time_ns(self) -> float:
+        """Total recovery time (waste + rollback + recomputation)."""
+        return sum(r.total_ns for r in self.recoveries)
+
+    def describe(self) -> str:  # pragma: no cover - convenience output
+        """One-line human summary."""
+        return (
+            f"{self.label}: wall={self.wall_ns / 1e3:.1f}us "
+            f"useful={self.useful_ns / 1e3:.1f}us "
+            f"ckpts={self.checkpoint_count} "
+            f"ckpt_data={self.total_checkpoint_bytes / 1024:.1f}KiB "
+            f"recoveries={self.recovery_count} "
+            f"energy={self.energy_pj / 1e6:.2f}uJ"
+        )
+
+
+def time_overhead(run: RunResult, baseline: RunResult) -> float:
+    """Fractional execution-time overhead of ``run`` w.r.t. ``baseline``.
+
+    The paper's Figs. 6/11/12 plot exactly this quantity (w.r.t. NoCkpt).
+    """
+    if baseline.wall_ns <= 0:
+        raise ValueError("baseline wall time must be positive")
+    return run.wall_ns / baseline.wall_ns - 1.0
+
+
+def energy_overhead(run: RunResult, baseline: RunResult) -> float:
+    """Fractional energy overhead of ``run`` w.r.t. ``baseline`` (Fig. 7)."""
+    base = baseline.energy_pj
+    if base <= 0:
+        raise ValueError("baseline energy must be positive")
+    return run.energy_pj / base - 1.0

@@ -1,0 +1,48 @@
+"""Shared utilities: deterministic RNG, unit conversions, table rendering.
+
+These helpers are intentionally free of any simulator-specific knowledge so
+that every other subpackage can depend on them without import cycles.
+"""
+
+from repro.util.rng import DeterministicRng, derive_seed, spawn_rngs
+from repro.util.tables import format_table, format_percent
+from repro.util.units import (
+    GHZ,
+    KIB,
+    MIB,
+    NANOSECONDS_PER_SECOND,
+    PICOJOULE,
+    NANOJOULE,
+    bytes_per_second,
+    cycles_from_ns,
+    ns_from_cycles,
+    seconds_from_ns,
+)
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+)
+
+__all__ = [
+    "DeterministicRng",
+    "derive_seed",
+    "spawn_rngs",
+    "format_table",
+    "format_percent",
+    "GHZ",
+    "KIB",
+    "MIB",
+    "NANOSECONDS_PER_SECOND",
+    "PICOJOULE",
+    "NANOJOULE",
+    "bytes_per_second",
+    "cycles_from_ns",
+    "ns_from_cycles",
+    "seconds_from_ns",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_power_of_two",
+]

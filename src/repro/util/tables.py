@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints every reproduced paper table/figure as an
+ASCII table; this module is the single formatting path so that all reports
+look alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_percent"]
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Format a fraction (0.1234) as a percentage string ("12.34%")."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Floats are rendered with two decimals; everything else via ``str``.
+    Returns the table as a single string (no trailing newline).
+    """
+    str_rows: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Unit constants and conversions used across the timing and energy models.
+
+The simulator keeps time internally in *nanoseconds* (floats) and energy in
+*picojoules*; these helpers document that convention and centralise the
+conversions so that no module hand-rolls its own constants.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GHZ",
+    "KIB",
+    "MIB",
+    "NANOSECONDS_PER_SECOND",
+    "PICOJOULE",
+    "NANOJOULE",
+    "bytes_per_second",
+    "cycles_from_ns",
+    "ns_from_cycles",
+    "seconds_from_ns",
+]
+
+#: One gigahertz, in hertz.
+GHZ = 1e9
+
+#: Binary kilo/mega bytes.
+KIB = 1024
+MIB = 1024 * 1024
+
+#: Nanoseconds per second.
+NANOSECONDS_PER_SECOND = 1e9
+
+#: Energy base units (expressed in joules).
+PICOJOULE = 1e-12
+NANOJOULE = 1e-9
+
+
+def cycles_from_ns(ns: float, freq_hz: float) -> float:
+    """Convert a duration in nanoseconds to clock cycles at ``freq_hz``."""
+    return ns * 1e-9 * freq_hz
+
+
+def ns_from_cycles(cycles: float, freq_hz: float) -> float:
+    """Convert a cycle count at ``freq_hz`` to nanoseconds."""
+    return cycles / freq_hz * NANOSECONDS_PER_SECOND
+
+
+def seconds_from_ns(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NANOSECONDS_PER_SECOND
+
+
+def bytes_per_second(gb_per_s: float) -> float:
+    """Convert a bandwidth quoted in GB/s (decimal) to bytes/second."""
+    return gb_per_s * 1e9

@@ -1,0 +1,47 @@
+"""Synthetic NAS-like workload generators.
+
+The paper evaluates eight NAS benchmarks (bt cg dc ft is lu mg sp).  We
+cannot run NAS binaries inside a pure-Python IR, so each benchmark is a
+*generator* that emits per-thread programs whose measurable properties
+mimic the published per-benchmark behaviour:
+
+* the distribution of backward-slice lengths over stored bytes (this is
+  what Table II measures as reduction-vs-threshold);
+* the iterative rewrite structure (arrays swept every timestep — what
+  makes old values recomputable in the first place);
+* first-touch and burst phases (what shapes the Max-vs-Overall split of
+  Fig. 9 and the temporal variation of Fig. 10);
+* the compute-to-store-traffic ratio (what sets each benchmark's
+  checkpointing overhead level in Figs. 6/7); and
+* the inter-core sharing topology (what coordinated local checkpointing
+  exploits in Fig. 13).
+
+All dataflow is real: slices are genuinely extracted by the compiler pass
+and recomputation genuinely reproduces stored values.  Only the *shape
+parameters* are calibrated to the paper.
+"""
+
+from repro.workloads.spec import BurstSpec, SliceLenBucket, WorkloadSpec
+from repro.workloads.kernels import (
+    burst_kernels,
+    shared_kernel,
+    site_kernel,
+    SiteAssignment,
+    assign_sites,
+)
+from repro.workloads.nas import NAS_BENCHMARKS
+from repro.workloads.registry import all_workload_names, get_workload
+
+__all__ = [
+    "SliceLenBucket",
+    "BurstSpec",
+    "WorkloadSpec",
+    "SiteAssignment",
+    "assign_sites",
+    "site_kernel",
+    "shared_kernel",
+    "burst_kernels",
+    "NAS_BENCHMARKS",
+    "get_workload",
+    "all_workload_names",
+]

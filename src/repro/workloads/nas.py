@@ -1,0 +1,189 @@
+"""The eight NAS-like benchmark specifications.
+
+Parameter provenance (all calibrated against the paper):
+
+* ``len_mix`` realises each benchmark's Table-II reduction-vs-threshold
+  CDF: the weight of bucket ``[lo, hi]`` approximates the additional
+  checkpoint-size reduction gained when the threshold passes ``hi``.
+* ``ghost_alu`` sets the compute-to-store-traffic ratio and hence the
+  checkpointing-overhead level of Figs. 6/7 (``cg``'s ≈9 % overhead needs
+  far more compute per stored word than ``ft``'s, the highest).
+* ``sparse_frac`` splits a boundary's cost between dirty-line flushing
+  (unaffected by ACR) and old-value logging (eliminated by ACR), which
+  caps how much of the overhead ACR can recover.
+* ``bursts`` produce the skewed Max checkpoints of Fig. 9: ``is``'s fresh
+  copy scatter is huge and never recomputable (Max reduction ≈0 despite
+  the highest Overall), ``ft``'s long-slice sweep only becomes omittable
+  at thresholds ≥ its slice lengths, ``dc``'s short-slice burst makes its
+  largest checkpoint the *most* reducible.
+* ``cluster_size`` encodes the communication topology of Fig. 13:
+  bt/cg/sp are all-to-all (local checkpointing cannot help), ft pairs up,
+  is/mg/dc/lu form small clusters.
+* ``is`` uses threshold 5 by default (paper footnote 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.spec import BurstSpec, SliceLenBucket, WorkloadSpec
+
+__all__ = ["NAS_BENCHMARKS"]
+
+
+def _mix(*triples: Tuple[float, int, int]) -> Tuple[SliceLenBucket, ...]:
+    return tuple(SliceLenBucket(w, lo, hi) for w, lo, hi in triples)
+
+
+NAS_BENCHMARKS: Dict[str, WorkloadSpec] = {
+    "bt": WorkloadSpec(
+        name="bt",
+        description="Block tridiagonal solver: wide slice spread, "
+        "all-to-all communication.",
+        cluster_size=0,
+        ghost_alu=25,
+        len_mix=_mix(
+            (0.38, 2, 10),
+            (0.09, 11, 20),
+            (0.42, 21, 30),
+            (0.03, 31, 40),
+            (0.02, 41, 50),
+        ),
+        copy_frac=0.03,
+        accum_frac=0.03,
+        sparse_frac=0.5,
+        seed=101,
+    ),
+    "cg": WorkloadSpec(
+        name="cg",
+        description="Conjugate gradient: compute-dense (lowest checkpoint "
+        "overhead), slices mostly 11-20 long, all-to-all.",
+        cluster_size=0,
+        ghost_alu=420,
+        len_mix=_mix(
+            (0.07, 2, 10),
+            (0.63, 11, 20),
+            (0.24, 21, 30),
+        ),
+        copy_frac=0.03,
+        accum_frac=0.03,
+        sparse_frac=0.5,
+        seed=102,
+    ),
+    "dc": WorkloadSpec(
+        name="dc",
+        description="Data cube: short-slice burst makes the largest "
+        "checkpoint highly reducible (best Max reduction).",
+        cluster_size=3,
+        ghost_alu=33,
+        len_mix=_mix(
+            (0.62, 2, 10),
+            (0.12, 11, 20),
+            (0.12, 21, 30),
+            (0.06, 31, 40),
+        ),
+        copy_frac=0.04,
+        accum_frac=0.04,
+        sparse_frac=0.45,
+        ramp_start=0.35,
+        wave_amp=0.25,
+        bursts=(BurstSpec(0.4, 1.0, "widen", passes=12),),
+        seed=103,
+    ),
+    "ft": WorkloadSpec(
+        name="ft",
+        description="3-D FFT: traffic-dominated (highest checkpoint "
+        "overhead); a long-slice burst keeps the Max checkpoint "
+        "unreducible below threshold ~40; pairwise communication.",
+        cluster_size=2,
+        ghost_alu=0,
+        region_words=512,
+        len_mix=_mix(
+            (0.23, 2, 10),
+            (0.50, 11, 20),
+            (0.16, 21, 30),
+            (0.08, 31, 40),
+        ),
+        copy_frac=0.015,
+        accum_frac=0.015,
+        sparse_frac=0.65,
+        bursts=(BurstSpec(0.45, 1.5, "chain", 32, 40, passes=2, pass_stride=8),),
+        seed=104,
+    ),
+    "is": WorkloadSpec(
+        name="is",
+        description="Integer sort: almost everything recomputable with "
+        "very short slices (threshold capped at 5, footnote 4); one huge "
+        "fresh key-scatter forms an unreducible Max checkpoint.",
+        default_threshold=5,
+        cluster_size=2,
+        ghost_alu=52,
+        len_mix=_mix(
+            (0.78, 2, 5),
+            (0.19, 6, 10),
+        ),
+        copy_frac=0.015,
+        accum_frac=0.015,
+        sparse_frac=0.3,
+        window_noise=0.05,
+        ramp_start=0.85,
+        wave_amp=0.03,
+        bursts=(BurstSpec(0.5, 3.0, "copy", passes=6, exclusive=True),),
+        seed=105,
+    ),
+    "lu": WorkloadSpec(
+        name="lu",
+        description="LU solver: heavy long-slice tail (reduction keeps "
+        "growing past threshold 50).",
+        cluster_size=6,
+        ghost_alu=31,
+        len_mix=_mix(
+            (0.425, 2, 10),
+            (0.04, 11, 20),
+            (0.18, 21, 30),
+            (0.10, 31, 40),
+            (0.065, 41, 50),
+            (0.13, 51, 70),
+        ),
+        copy_frac=0.03,
+        accum_frac=0.03,
+        sparse_frac=0.5,
+        seed=106,
+    ),
+    "mg": WorkloadSpec(
+        name="mg",
+        description="Multigrid: slices concentrated at 21-30 (big Table-II "
+        "jump at threshold 30); small communication clusters.",
+        cluster_size=3,
+        ghost_alu=20,
+        len_mix=_mix(
+            (0.115, 2, 10),
+            (0.08, 11, 20),
+            (0.68, 21, 30),
+            (0.025, 31, 40),
+            (0.02, 41, 50),
+        ),
+        copy_frac=0.04,
+        accum_frac=0.04,
+        sparse_frac=0.5,
+        seed=107,
+    ),
+    "sp": WorkloadSpec(
+        name="sp",
+        description="Scalar pentadiagonal solver: gradual threshold "
+        "response, all-to-all communication.",
+        cluster_size=0,
+        ghost_alu=28,
+        len_mix=_mix(
+            (0.375, 2, 10),
+            (0.105, 11, 20),
+            (0.24, 21, 30),
+            (0.22, 31, 40),
+            (0.023, 41, 50),
+        ),
+        copy_frac=0.02,
+        accum_frac=0.017,
+        sparse_frac=0.5,
+        seed=108,
+    ),
+}

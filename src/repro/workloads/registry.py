@@ -1,0 +1,27 @@
+"""Workload lookup."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.nas import NAS_BENCHMARKS
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["get_workload", "all_workload_names"]
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Fetch a benchmark spec by name; raises ``KeyError`` with the
+    available names on a miss."""
+    try:
+        return NAS_BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{', '.join(sorted(NAS_BENCHMARKS))}"
+        ) from None
+
+
+def all_workload_names() -> List[str]:
+    """All benchmark names in the paper's order."""
+    return list(NAS_BENCHMARKS)

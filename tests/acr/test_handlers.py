@@ -1,0 +1,154 @@
+"""Tests for repro.acr.handlers."""
+
+import pytest
+
+from repro.acr.handlers import AcrCheckpointHandler, AcrRecoveryHandler, AssocOutcome
+from repro.arch.config import MachineConfig
+from repro.ckpt.log import IntervalLog
+from repro.arch.buffers import AddrMapEntry
+from repro.compiler.slices import Slice, SliceTable
+from repro.isa.instructions import AluInstr, MoviInstr
+from repro.isa.interpreter import MemoryImage
+from repro.isa.opcodes import Opcode
+
+
+def plus_slice(site, offset):
+    return Slice(
+        site,
+        (MoviInstr(1, offset), AluInstr(Opcode.ADD, 2, 0, 1)),
+        (0,),
+        2,
+    )
+
+
+def make_handler(num_cores=2, capacity=8):
+    cfg = MachineConfig(
+        num_cores=num_cores, addrmap_capacity=capacity,
+        operand_buffer_capacity=capacity * 4,
+    )
+    tables = []
+    for _ in range(num_cores):
+        t = SliceTable()
+        t.add(plus_slice(0, 5))
+        tables.append(t)
+    return cfg, AcrCheckpointHandler(cfg, tables)
+
+
+class TestOnStore:
+    def test_covered_store_recorded(self):
+        _, h = make_handler()
+        out = h.on_store(0, site=0, address=64, regs=[37, 0, 0])
+        assert out is AssocOutcome.RECORDED
+        assert h.assoc_executed == 1
+
+    def test_uncovered_store_invalidates(self):
+        _, h = make_handler()
+        out = h.on_store(0, site=99, address=64, regs=[0])
+        assert out is AssocOutcome.INVALIDATED
+
+    def test_operand_snapshot_from_live_regs(self):
+        _, h = make_handler()
+        regs = [37, 0, 0]
+        h.on_store(0, 0, 64, regs)
+        regs[0] = 999  # later mutation must not affect the snapshot
+        h.on_checkpoint()
+        entry = h.may_omit(0, 64)
+        assert entry is not None
+        assert entry.operands == (37,)
+        assert entry.slice_.execute(entry.operands) == 42
+
+    def test_addrmap_capacity_rejection(self):
+        _, h = make_handler(capacity=2)
+        assert h.on_store(0, 0, 0, [1, 0, 0]) is AssocOutcome.RECORDED
+        assert h.on_store(0, 0, 8, [1, 0, 0]) is AssocOutcome.RECORDED
+        assert h.on_store(0, 0, 16, [1, 0, 0]) is AssocOutcome.REJECTED
+
+    def test_per_core_isolation(self):
+        _, h = make_handler()
+        h.on_store(0, 0, 64, [1, 0, 0])
+        h.on_checkpoint()
+        assert h.may_omit(0, 64) is not None
+        assert h.may_omit(1, 64) is None
+
+
+class TestOmission:
+    def test_may_omit_requires_commit(self):
+        _, h = make_handler()
+        h.on_store(0, 0, 64, [1, 0, 0])
+        assert h.may_omit(0, 64) is None
+        h.on_checkpoint()
+        assert h.may_omit(0, 64) is not None
+        assert h.omissions == 1
+        assert h.omission_lookups == 2
+
+    def test_plain_store_masks_committed_entry(self):
+        _, h = make_handler()
+        h.on_store(0, 0, 64, [1, 0, 0])   # assoc in interval k
+        h.on_checkpoint()
+        h.on_store(0, 99, 64, [1])        # plain store in interval k+1
+        h.on_checkpoint()
+        # Value at the latest checkpoint came from the plain store.
+        assert h.may_omit(0, 64) is None
+
+    def test_generation_expiry(self):
+        _, h = make_handler()
+        h.on_store(0, 0, 64, [1, 0, 0])
+        h.on_checkpoint()
+        h.on_checkpoint()
+        assert h.may_omit(0, 64) is not None  # 2 generations back: ok
+        h.on_checkpoint()
+        assert h.may_omit(0, 64) is None      # expired
+
+    def test_operand_buffer_released_on_expiry(self):
+        cfg, h = make_handler(capacity=8)
+        for gen in range(6):
+            h.on_store(0, 0, gen * 8, [gen, 0, 0])
+            h.on_checkpoint()
+        # 1 operand word per entry; only open + 2 committed gens retained.
+        assert h.operand_buffers[0].words <= 3
+
+    def test_reassociation_does_not_leak_operand_words(self):
+        _, h = make_handler()
+        for i in range(100):
+            h.on_store(0, 0, 64, [i, 0, 0])
+        assert h.operand_buffers[0].words == 1
+
+
+class TestRecoveryHandler:
+    def test_recompute_and_writeback(self):
+        handler = AcrRecoveryHandler()
+        log = IntervalLog(1)
+        log.add_omitted(
+            8, AddrMapEntry(8, plus_slice(0, 5), (10,)), core=0, ground_truth=15
+        )
+        mem = MemoryImage(0)
+        values = handler.recompute_omitted([log], mem)
+        assert values == {8: 15}
+        assert mem.read(8) == 15
+        assert handler.stats.values == 1
+        assert handler.stats.instructions == 2
+
+    def test_oldest_log_wins(self):
+        handler = AcrRecoveryHandler()
+        newer = IntervalLog(2)
+        newer.add_omitted(
+            8, AddrMapEntry(8, plus_slice(0, 1), (0,)), core=0, ground_truth=1
+        )
+        older = IntervalLog(1)
+        older.add_omitted(
+            8, AddrMapEntry(8, plus_slice(0, 2), (0,)), core=0, ground_truth=2
+        )
+        values = handler.recompute_omitted([newer, older])
+        assert values[8] == 2
+
+
+class TestConstruction:
+    def test_table_count_mismatch_rejected(self):
+        cfg = MachineConfig(num_cores=4)
+        with pytest.raises(ValueError):
+            AcrCheckpointHandler(cfg, [SliceTable()])
+
+    def test_slice_for_site(self):
+        _, h = make_handler()
+        assert h.slice_for_site(0, 0) is not None
+        assert h.slice_for_site(0, 1) is None

@@ -1,0 +1,48 @@
+"""Tests for repro.acr.recompute."""
+
+from repro.acr.recompute import RecomputationEngine
+from repro.arch.buffers import AddrMapEntry
+from repro.compiler.slices import Slice
+from repro.isa.instructions import AluInstr, MoviInstr
+from repro.isa.opcodes import Opcode
+
+
+def mul_slice(factor):
+    return Slice(
+        0,
+        (MoviInstr(1, factor), AluInstr(Opcode.MUL, 2, 0, 1)),
+        (0,),
+        2,
+    )
+
+
+class TestRecomputationEngine:
+    def test_recompute_value(self):
+        eng = RecomputationEngine()
+        assert eng.recompute(mul_slice(3), (7,)) == 21
+
+    def test_stats_accumulate(self):
+        eng = RecomputationEngine()
+        eng.recompute(mul_slice(3), (1,))
+        eng.recompute(mul_slice(3), (2,))
+        assert eng.stats.values == 2
+        assert eng.stats.instructions == 4
+        assert eng.stats.by_length == {2: 2}
+
+    def test_recompute_entry(self):
+        eng = RecomputationEngine()
+        entry = AddrMapEntry(64, mul_slice(5), (8,))
+        addr, value = eng.recompute_entry(entry)
+        assert (addr, value) == (64, 40)
+
+    def test_length_histogram_multiple_lengths(self):
+        eng = RecomputationEngine()
+        long_slice = Slice(
+            1,
+            tuple(MoviInstr(i, i) for i in range(5)),
+            (),
+            4,
+        )
+        eng.recompute(mul_slice(2), (1,))
+        eng.recompute(long_slice, ())
+        assert eng.stats.by_length == {2: 1, 5: 1}

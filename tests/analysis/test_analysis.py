@@ -1,0 +1,160 @@
+"""Tests for the analysis package."""
+
+import pytest
+
+from repro.analysis.baselines import (
+    HierarchicalConfig,
+    full_snapshot_costs,
+    hierarchical_costs,
+)
+from repro.analysis.compare import compare_runs
+from repro.analysis.decomposition import (
+    decompose_overhead,
+    energy_by_category,
+    recovery_anatomy,
+)
+
+
+class TestDecomposition:
+    def test_components_sum_to_total(self, small_ckpt_run):
+        d = decompose_overhead(small_ckpt_run)
+        assert d.total_ns == pytest.approx(small_ckpt_run.overhead_ns)
+        assert d.boundary_ns + d.execution_ns + d.recovery_ns == pytest.approx(
+            d.total_ns, rel=0.01
+        )
+        assert d.recovery_ns == 0.0  # error-free run
+
+    def test_describe_renders(self, small_ckpt_run):
+        text = decompose_overhead(small_ckpt_run).describe()
+        assert "TOTAL overhead" in text
+
+    def test_baseline_run_has_no_overhead(self, small_baseline):
+        d = decompose_overhead(small_baseline)
+        assert d.total_ns == pytest.approx(0.0, abs=1e-6)
+
+
+class TestRecoveryAnatomy:
+    def test_error_free(self, small_ckpt_run):
+        a = recovery_anatomy(small_ckpt_run)
+        assert a.count == 0
+        assert a.total_ns == 0.0
+
+    def test_with_error(self, small_simulator, small_baseline):
+        from repro.errors.injection import UniformErrors
+        from repro.sim.simulator import SimulationOptions
+
+        run = small_simulator.run(
+            SimulationOptions(
+                label="e",
+                scheme="global",
+                acr=True,
+                num_checkpoints=6,
+                baseline=small_baseline.baseline_profile(),
+                errors=UniformErrors(2),
+            )
+        )
+        a = recovery_anatomy(run)
+        assert a.count == 2
+        assert a.waste_ns > 0
+        assert a.recomputed_values > 0
+        assert a.total_ns == pytest.approx(run.recovery_time_ns)
+
+
+class TestEnergyByCategory:
+    def test_categories_cover_ledger(self, small_acr_run):
+        cats = energy_by_category(small_acr_run)
+        assert sum(cats.values()) == pytest.approx(small_acr_run.energy_pj)
+        assert "checkpointing" in cats
+        assert "ACR structures" in cats
+        assert "leakage" in cats
+
+    def test_baseline_has_no_ckpt_energy(self, small_baseline):
+        cats = energy_by_category(small_baseline)
+        assert "checkpointing" not in cats
+
+
+class TestFullSnapshot:
+    def test_bookkeeping(self, small_ckpt_run):
+        fs = full_snapshot_costs(small_ckpt_run)
+        assert fs.total_bytes == sum(
+            iv.footprint_bytes for iv in small_ckpt_run.intervals
+        )
+        assert fs.max_bytes == small_ckpt_run.intervals[-1].footprint_bytes
+        assert fs.write_time_ns > 0
+        assert fs.inflation == pytest.approx(
+            fs.total_bytes / small_ckpt_run.total_checkpoint_bytes
+        )
+
+    def test_inflation_on_large_footprint_workload(self):
+        """When the resident footprint dwarfs the per-interval delta —
+        the common HPC case — snapshots move far more data than the log.
+        A one-shot big write followed by small updates models that."""
+        from repro.arch.config import MachineConfig
+        from repro.isa.builder import chain_kernel
+        from repro.isa.instructions import AddressPattern
+        from repro.isa.program import Program
+        from repro.sim.simulator import SimulationOptions, Simulator
+
+        kernels = [
+            chain_kernel(
+                "init", AddressPattern(0, 1, 4096),
+                [AddressPattern(1 << 22, 1, 4096)], 2, 4096,
+            )
+        ]
+        for rep in range(8):
+            # ghost-heavy updates: the big init completes well inside the
+            # first interval, later intervals only touch 64 words.
+            kernels.append(
+                chain_kernel(
+                    f"update.r{rep}", AddressPattern(0, 1, 64),
+                    [AddressPattern(1 << 22, 1, 64, offset=rep)], 2, 64,
+                    phase=1 + rep, ghost_alu=300,
+                )
+            )
+        sim = Simulator([Program(kernels)], MachineConfig(num_cores=1))
+        base = sim.run_baseline()
+        run = sim.run(
+            SimulationOptions(
+                label="ck", scheme="global", num_checkpoints=4,
+                baseline=base.baseline_profile(),
+            )
+        )
+        fs = full_snapshot_costs(run)
+        assert fs.inflation > 1.5
+
+    def test_footprint_monotone(self, small_ckpt_run):
+        sizes = [iv.footprint_bytes for iv in small_ckpt_run.intervals]
+        assert sizes == sorted(sizes)
+        assert sizes[0] > 0
+
+    def test_empty_run(self, small_baseline):
+        fs = full_snapshot_costs(small_baseline)
+        assert fs.total_bytes == 0
+
+
+class TestHierarchical:
+    def test_drain_accounting(self, small_ckpt_run):
+        h = hierarchical_costs(small_ckpt_run, HierarchicalConfig(every_k=2))
+        assert h.drained_checkpoints == small_ckpt_run.checkpoint_count // 2
+        assert 0 < h.drained_bytes <= small_ckpt_run.total_checkpoint_bytes
+        assert h.drain_time_ns > 0
+
+    def test_acr_drains_less(self, small_ckpt_run, small_acr_run):
+        cfg = HierarchicalConfig(every_k=2)
+        plain = hierarchical_costs(small_ckpt_run, cfg)
+        acr = hierarchical_costs(small_acr_run, cfg)
+        assert acr.drained_bytes < plain.drained_bytes
+        assert acr.drain_time_ns < plain.drain_time_ns
+
+    def test_every_k_one_drains_everything(self, small_ckpt_run):
+        h = hierarchical_costs(small_ckpt_run, HierarchicalConfig(every_k=1))
+        assert h.drained_bytes == small_ckpt_run.total_checkpoint_bytes
+
+
+class TestCompare:
+    def test_render(self, small_baseline, small_ckpt_run, small_acr_run):
+        text = compare_runs(
+            small_baseline, [small_ckpt_run, small_acr_run], title="t"
+        )
+        assert "Ckpt_NE" in text and "ReCkpt_NE" in text
+        assert "omissions" in text

@@ -1,0 +1,64 @@
+"""Additional comparison/decomposition coverage across all nine configs."""
+
+import pytest
+
+from repro.analysis.compare import compare_runs
+from repro.analysis.decomposition import decompose_overhead
+from repro.experiments.configs import CONFIG_NAMES
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def full_matrix():
+    runner = ExperimentRunner(num_cores=2, region_scale=0.1, reps=12)
+    base = runner.baseline("bt")
+    runs = {
+        name: runner.run_default("bt", name, num_checkpoints=5)
+        for name in CONFIG_NAMES
+        if name != "NoCkpt"
+    }
+    return base, runs
+
+
+class TestNineConfigurations:
+    def test_all_configs_run(self, full_matrix):
+        base, runs = full_matrix
+        assert len(runs) == 8
+        for name, run in runs.items():
+            assert run.wall_ns >= base.wall_ns * 0.999, name
+            assert run.checkpoint_count == 5, name
+
+    def test_error_variants_have_recoveries(self, full_matrix):
+        _, runs = full_matrix
+        for name, run in runs.items():
+            expected = 1 if "_E" in name else 0
+            assert run.recovery_count == expected, name
+
+    def test_acr_variants_omit(self, full_matrix):
+        _, runs = full_matrix
+        for name, run in runs.items():
+            if name.startswith("ReCkpt"):
+                assert run.omissions > 0, name
+            else:
+                assert run.omissions == 0, name
+
+    def test_local_variants_never_slower(self, full_matrix):
+        _, runs = full_matrix
+        for local_name in [n for n in runs if n.endswith("_Loc")]:
+            global_name = local_name[: -len("_Loc")]
+            assert (
+                runs[local_name].wall_ns <= runs[global_name].wall_ns * 1.02
+            ), local_name
+
+    def test_comparison_table_covers_all(self, full_matrix):
+        base, runs = full_matrix
+        text = compare_runs(base, list(runs.values()))
+        for name in runs:
+            assert name in text
+
+    def test_decompositions_consistent(self, full_matrix):
+        _, runs = full_matrix
+        for name, run in runs.items():
+            d = decompose_overhead(run)
+            assert d.total_ns == pytest.approx(run.overhead_ns), name
+            assert d.boundary_ns >= 0 and d.execution_ns >= 0, name

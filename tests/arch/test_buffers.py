@@ -1,0 +1,120 @@
+"""Tests for repro.arch.buffers (AddrMap generations and tombstones)."""
+
+import pytest
+
+from repro.arch.buffers import AddrMap, AddrMapEntry, OperandBuffer
+from repro.compiler.slices import Slice
+from repro.isa.instructions import AluInstr, MoviInstr
+from repro.isa.opcodes import Opcode
+
+
+def entry(addr, value_offset=7):
+    sl = Slice(
+        site=0,
+        instructions=(MoviInstr(1, value_offset), AluInstr(Opcode.ADD, 2, 0, 1)),
+        frontier=(0,),
+        result_reg=2,
+    )
+    return AddrMapEntry(addr, sl, (addr,))
+
+
+class TestAddrMapGenerations:
+    def test_open_entries_not_visible_until_commit(self):
+        m = AddrMap(16)
+        m.record(entry(8))
+        assert m.committed_lookup(8) is None
+        m.commit_generation()
+        assert m.committed_lookup(8) is not None
+
+    def test_two_generation_retention(self):
+        m = AddrMap(16)
+        m.record(entry(8))
+        m.commit_generation()   # gen 1 holds addr 8
+        m.commit_generation()   # gen 2 empty
+        assert m.committed_lookup(8) is not None  # still retained
+        m.commit_generation()   # gen 1 expires
+        assert m.committed_lookup(8) is None
+
+    def test_youngest_generation_wins(self):
+        m = AddrMap(16)
+        m.record(entry(8, value_offset=1))
+        m.commit_generation()
+        m.record(entry(8, value_offset=2))
+        m.commit_generation()
+        got = m.committed_lookup(8)
+        assert got.slice_.execute((0,)) == 2
+
+    def test_reassociation_replaces_open_entry(self):
+        m = AddrMap(16)
+        m.record(entry(8, value_offset=1))
+        m.record(entry(8, value_offset=2))
+        m.commit_generation()
+        assert m.committed_lookup(8).slice_.execute((0,)) == 2
+        assert m.open_size == 0
+
+    def test_capacity_rejection(self):
+        m = AddrMap(2)
+        assert m.record(entry(0))
+        assert m.record(entry(8))
+        assert not m.record(entry(16))
+        assert m.rejections == 1
+        # Existing address may still be replaced at capacity.
+        assert m.record(entry(0, value_offset=9))
+
+
+class TestTombstones:
+    def test_invalidate_masks_older_generation(self):
+        m = AddrMap(16)
+        m.record(entry(8))
+        m.commit_generation()       # gen k-1: addr 8 recomputable
+        m.invalidate(8)             # plain store in interval k
+        m.commit_generation()       # gen k: tombstone
+        # Without the tombstone this would wrongly return the stale entry.
+        assert m.committed_lookup(8) is None
+
+    def test_invalidate_then_record_restores(self):
+        m = AddrMap(16)
+        m.invalidate(8)
+        m.record(entry(8))
+        m.commit_generation()
+        assert m.committed_lookup(8) is not None
+
+    def test_tombstones_do_not_consume_capacity(self):
+        m = AddrMap(1)
+        for a in range(0, 80, 8):
+            m.invalidate(a)
+        assert m.record(entry(1024))
+
+    def test_open_tombstone_invisible_to_lookup(self):
+        m = AddrMap(16)
+        m.record(entry(8))
+        m.commit_generation()
+        m.invalidate(8)  # open-generation tombstone only
+        # The committed generation still proves the *old* value.
+        assert m.committed_lookup(8) is not None
+
+    def test_entries_for_checkpoint(self):
+        m = AddrMap(16)
+        m.record(entry(8))
+        m.commit_generation()
+        m.record(entry(16))
+        m.commit_generation()
+        assert [e.address for e in m.entries_for_checkpoint(1)] == [16]
+        assert [e.address for e in m.entries_for_checkpoint(2)] == [8]
+        assert m.entries_for_checkpoint(3) == []
+
+
+class TestOperandBuffer:
+    def test_reserve_release(self):
+        b = OperandBuffer(4)
+        assert b.try_reserve(3)
+        assert not b.try_reserve(2)
+        assert b.rejections == 1
+        b.release(3)
+        assert b.try_reserve(4)
+        assert b.peak_words == 4
+
+    def test_release_floors_at_zero(self):
+        b = OperandBuffer(4)
+        b.release(10)
+        assert b.words == 0

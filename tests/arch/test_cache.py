@@ -1,0 +1,123 @@
+"""Tests for repro.arch.cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.cache import SetAssociativeCache
+from repro.arch.config import CacheConfig
+
+
+def small_cache(sets=4, ways=2):
+    return SetAssociativeCache(
+        CacheConfig("t", sets * ways * 64, ways, 1.0)
+    )
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert not c.access(0, False).hit
+        assert c.access(0, False).hit
+        assert c.hits == 1 and c.misses == 1
+
+    def test_write_sets_dirty(self):
+        c = small_cache()
+        c.access(0, True)
+        assert c.is_dirty(0)
+
+    def test_read_does_not_dirty(self):
+        c = small_cache()
+        c.access(0, False)
+        assert not c.is_dirty(0)
+
+    def test_write_after_read_dirties(self):
+        c = small_cache()
+        c.access(0, False)
+        c.access(0, True)
+        assert c.is_dirty(0)
+
+    def test_contains(self):
+        c = small_cache()
+        c.access(5, False)
+        assert c.contains(5)
+        assert not c.contains(6)
+
+
+class TestLru:
+    def test_eviction_order(self):
+        c = small_cache(sets=1, ways=2)
+        c.access(0, False)
+        c.access(1, False)
+        r = c.access(2, False)  # evicts 0 (LRU)
+        assert r.victim_line == 0
+        assert not c.contains(0)
+        assert c.contains(1) and c.contains(2)
+
+    def test_hit_refreshes_lru(self):
+        c = small_cache(sets=1, ways=2)
+        c.access(0, False)
+        c.access(1, False)
+        c.access(0, False)  # 0 becomes MRU
+        r = c.access(2, False)
+        assert r.victim_line == 1
+
+    def test_dirty_eviction_flagged(self):
+        c = small_cache(sets=1, ways=1)
+        c.access(0, True)
+        r = c.access(1, False)
+        assert r.victim_line == 0 and r.victim_dirty
+        assert c.dirty_evictions == 1
+
+    def test_sets_independent(self):
+        c = small_cache(sets=4, ways=1)
+        for line in range(4):
+            c.access(line, False)
+        assert all(c.contains(line) for line in range(4))
+
+
+class TestFlush:
+    def test_flush_dirty_returns_lines_and_cleans(self):
+        c = small_cache()
+        c.access(0, True)
+        c.access(1, True)
+        c.access(2, False)
+        flushed = sorted(c.flush_dirty())
+        assert flushed == [0, 1]
+        assert c.dirty_line_count() == 0
+        # lines stay resident (Rebound keeps clean copies)
+        assert c.contains(0) and c.contains(1)
+
+    def test_flush_idempotent(self):
+        c = small_cache()
+        c.access(0, True)
+        c.flush_dirty()
+        assert c.flush_dirty() == []
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.access(0, True)
+        assert c.invalidate(0) is True
+        assert not c.contains(0)
+        assert c.invalidate(0) is False
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_bounded_by_capacity(self, accesses):
+        c = small_cache(sets=4, ways=2)
+        for line, wr in accesses:
+            c.access(line, wr)
+        assert len(c.resident_lines()) <= 8
+        assert c.hits + c.misses == len(accesses)
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_dirty_lines_subset_of_resident(self, accesses):
+        c = small_cache(sets=4, ways=2)
+        for line, wr in accesses:
+            c.access(line, wr)
+        resident = set(c.resident_lines())
+        dirty = {l for l in resident if c.is_dirty(l)}
+        assert dirty <= resident
+        assert c.dirty_line_count() == len(dirty)

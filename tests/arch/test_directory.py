@@ -1,0 +1,98 @@
+"""Tests for repro.arch.directory."""
+
+import pytest
+
+from repro.arch.directory import Directory
+
+
+class TestLogBits:
+    def test_first_set_returns_false(self):
+        d = Directory(4)
+        assert d.test_and_set_log(64) is False
+        assert d.test_and_set_log(64) is True
+
+    def test_distinct_addresses_independent(self):
+        d = Directory(4)
+        d.test_and_set_log(0)
+        assert d.test_and_set_log(8) is False
+
+    def test_clear_returns_count(self):
+        d = Directory(4)
+        for a in (0, 8, 16):
+            d.test_and_set_log(a)
+        assert d.logged_addresses == 3
+        assert d.clear_log_bits() == 3
+        assert d.test_and_set_log(0) is False
+
+    def test_log_bit_query(self):
+        d = Directory(4)
+        assert not d.log_bit(0)
+        d.test_and_set_log(0)
+        assert d.log_bit(0)
+
+
+class TestCommunicationTracking:
+    def test_no_edges_initially(self):
+        d = Directory(4)
+        groups = d.communication_groups()
+        assert len(groups) == 4
+        assert all(len(g) == 1 for g in groups)
+
+    def test_shared_line_creates_edge(self):
+        d = Directory(4)
+        d.record_access(0, 100)
+        d.record_access(1, 100)
+        groups = d.communication_groups()
+        assert frozenset({0, 1}) in groups
+        assert len(groups) == 3
+
+    def test_same_core_no_edge(self):
+        d = Directory(4)
+        d.record_access(0, 100)
+        d.record_access(0, 100)
+        assert d.edge_count == 0
+
+    def test_transitive_closure(self):
+        d = Directory(4)
+        d.record_access(0, 1)
+        d.record_access(1, 1)
+        d.record_access(1, 2)
+        d.record_access(2, 2)
+        groups = d.communication_groups()
+        assert frozenset({0, 1, 2}) in groups
+
+    def test_all_cores_union(self):
+        d = Directory(8)
+        d.record_access(0, 1)
+        d.record_access(1, 1)
+        union = set()
+        for g in d.communication_groups():
+            union |= g
+        assert union == set(range(8))
+
+    def test_clear_interval_tracking(self):
+        d = Directory(4)
+        d.record_access(0, 1)
+        d.record_access(1, 1)
+        d.clear_interval_tracking()
+        assert d.edge_count == 0
+        assert all(len(g) == 1 for g in d.communication_groups())
+
+    def test_groups_disjoint(self):
+        d = Directory(6)
+        d.record_access(0, 1)
+        d.record_access(1, 1)
+        d.record_access(2, 2)
+        d.record_access(3, 2)
+        groups = d.communication_groups()
+        seen = set()
+        for g in groups:
+            assert not (seen & g)
+            seen |= g
+
+    def test_ping_pong_edges_deduplicated(self):
+        d = Directory(4)
+        for _ in range(5):
+            d.record_access(0, 7)
+            d.record_access(1, 7)
+        assert d.edge_count == 1

@@ -1,0 +1,79 @@
+"""Tests for repro.arch.hierarchy."""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.arch.hierarchy import CoreCacheHierarchy
+
+
+@pytest.fixture
+def hier():
+    return CoreCacheHierarchy(MachineConfig(num_cores=4))
+
+
+class TestAccessPath:
+    def test_cold_miss_goes_to_memory(self, hier):
+        cfg = hier.config
+        acc = hier.access(0, False)
+        assert acc.memory_access
+        assert acc.latency_ns == pytest.approx(
+            cfg.l1d.latency_ns + cfg.l2.latency_ns + cfg.mem_latency_ns
+        )
+        assert hier.memory_accesses == 1
+
+    def test_l1_hit_after_fill(self, hier):
+        hier.access(0, False)
+        acc = hier.access(0, False)
+        assert acc.l1_hit
+        assert acc.latency_ns == pytest.approx(hier.config.l1d.latency_ns)
+
+    def test_l2_hit_after_l1_eviction(self, hier):
+        cfg = hier.config
+        # Fill one L1 set: lines mapping to set 0 of L1 (64 sets, 8 ways)
+        l1_sets = cfg.l1d.num_sets
+        for i in range(cfg.l1d.ways + 1):
+            hier.access(i * l1_sets * cfg.line_bytes, False)
+        # line 0 got evicted from L1 but lives in L2
+        acc = hier.access(0, False)
+        assert acc.l2_hit and not acc.l1_hit and not acc.memory_access
+
+    def test_same_line_words_share_line(self, hier):
+        hier.access(0, False)
+        acc = hier.access(56, False)  # same 64B line
+        assert acc.l1_hit
+
+    def test_dirty_l1_victim_lands_in_l2(self, hier):
+        cfg = hier.config
+        l1_sets = cfg.l1d.num_sets
+        hier.access(0, True)  # dirty in L1
+        for i in range(1, cfg.l1d.ways + 1):
+            hier.access(i * l1_sets * cfg.line_bytes, False)
+        # line 0 evicted dirty from L1 -> moved into L2 (dirty there)
+        assert hier.l2.is_dirty(0)
+
+
+class TestFlush:
+    def test_flush_counts_unique_lines(self, hier):
+        hier.access(0, True)
+        hier.access(64, True)
+        hier.access(128, False)
+        assert hier.flush_dirty_lines() == 2
+        assert hier.dirty_line_count() == 0
+
+    def test_flush_counts_line_dirty_in_both_levels_once(self, hier):
+        cfg = hier.config
+        l1_sets = cfg.l1d.num_sets
+        hier.access(0, True)
+        # Evict it (dirty) into L2, then re-dirty it in L1.
+        for i in range(1, cfg.l1d.ways + 1):
+            hier.access(i * l1_sets * cfg.line_bytes, True)
+        hier.access(0, True)
+        n = hier.dirty_line_count()
+        flushed = hier.flush_dirty_lines()
+        assert flushed == n
+
+    def test_flush_then_write_redirties(self, hier):
+        hier.access(0, True)
+        hier.flush_dirty_lines()
+        hier.access(0, True)
+        assert hier.dirty_line_count() == 1

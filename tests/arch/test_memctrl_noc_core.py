@@ -1,0 +1,149 @@
+"""Tests for repro.arch.memctrl, noc and core timing."""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.arch.core import CoreTimingModel
+from repro.arch.hierarchy import DataAccess
+from repro.arch.memctrl import MemorySystem
+from repro.arch.noc import MeshNoc
+
+
+@pytest.fixture
+def cfg():
+    return MachineConfig(num_cores=8)
+
+
+class TestMemorySystem:
+    def test_controller_mapping(self, cfg):
+        ms = MemorySystem(cfg)
+        assert len(ms.controllers) == 2
+        assert ms.controller_for_core(0).index == 0
+        assert ms.controller_for_core(3).index == 0
+        assert ms.controller_for_core(4).index == 1
+        assert ms.controller_for_core(7).index == 1
+
+    def test_transfer_time_scales_with_bytes(self, cfg):
+        ms = MemorySystem(cfg)
+        t1 = ms.bulk_transfer_time_ns({0: 1024})
+        t2 = ms.bulk_transfer_time_ns({0: 1024 * 1024})
+        assert t2 > t1 * 10
+
+    def test_zero_bytes_zero_time(self, cfg):
+        assert MemorySystem(cfg).bulk_transfer_time_ns({0: 0}) == 0.0
+
+    def test_parallel_controllers_beat_serial(self, cfg):
+        ms = MemorySystem(cfg)
+        # Same total bytes: split across 2 controllers vs on one.
+        split = ms.bulk_transfer_time_ns({0: 1 << 20, 4: 1 << 20})
+        ms2 = MemorySystem(cfg)
+        serial = ms2.bulk_transfer_time_ns({0: 1 << 20, 1: 1 << 20})
+        assert split < serial
+
+    def test_same_controller_serialises(self, cfg):
+        ms = MemorySystem(cfg)
+        t = ms.bulk_transfer_time_ns({0: 1 << 20, 1: 1 << 20})
+        single = MemorySystem(cfg).bulk_transfer_time_ns({0: 2 << 20})
+        assert t == pytest.approx(single)
+
+    def test_total_bytes_tracked(self, cfg):
+        ms = MemorySystem(cfg)
+        ms.bulk_transfer_time_ns({0: 100, 5: 200})
+        assert ms.total_bytes == 300
+
+    def test_negative_bytes_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            MemorySystem(cfg).bulk_transfer_time_ns({0: -1})
+
+    def test_single_core_config(self):
+        cfg1 = MachineConfig(num_cores=1)
+        ms = MemorySystem(cfg1)
+        assert len(ms.controllers) == 1
+        assert ms.controller_for_core(0).index == 0
+
+
+class TestMeshNoc:
+    def test_barrier_grows_with_cores(self, cfg):
+        noc = MeshNoc(cfg)
+        times = [noc.barrier_latency_ns(n) for n in (1, 2, 4, 8, 16)]
+        assert times == sorted(times)
+        assert times[-1] > times[0]
+
+    def test_single_core_barrier_is_base(self, cfg):
+        noc = MeshNoc(cfg)
+        assert noc.barrier_latency_ns(1) == cfg.noc_barrier_base_ns
+
+    def test_diameter(self, cfg):
+        noc = MeshNoc(cfg)
+        assert noc.diameter_hops(1) == 1
+        assert noc.diameter_hops(4) == 2
+        assert noc.diameter_hops(16) == 6
+
+    def test_barrier_counter(self, cfg):
+        noc = MeshNoc(cfg)
+        noc.barrier_latency_ns(4)
+        noc.barrier_latency_ns(4)
+        assert noc.barriers == 2
+
+    def test_average_hops_nonnegative(self, cfg):
+        assert MeshNoc(cfg).average_hops() >= 0.0
+
+
+class TestCoreTimingModel:
+    def test_issue_time(self, cfg):
+        t = CoreTimingModel(cfg)
+        assert t.issue_time_ns(4) == pytest.approx(cfg.cycle_ns)
+        assert t.issue_time_ns(8) == pytest.approx(2 * cfg.cycle_ns)
+
+    def test_l1_hit_no_stall(self, cfg):
+        t = CoreTimingModel(cfg)
+        acc = DataAccess(cfg.l1d.latency_ns, True, False, False, 0)
+        assert t.stall_time_ns(acc) == 0.0
+
+    def test_memory_stall_amortised_by_mlp(self, cfg):
+        t = CoreTimingModel(cfg)
+        lat = cfg.l1d.latency_ns + cfg.l2.latency_ns + cfg.mem_latency_ns
+        acc = DataAccess(lat, False, False, True, 0)
+        assert t.stall_time_ns(acc) == pytest.approx(
+            (lat - cfg.l1d.latency_ns) / cfg.mlp
+        )
+
+    def test_alu_burst_serial(self, cfg):
+        t = CoreTimingModel(cfg)
+        assert t.alu_burst_time_ns(10) == pytest.approx(10 * cfg.cycle_ns)
+
+
+class TestMachineConfig:
+    def test_table1_defaults(self):
+        cfg = MachineConfig()
+        assert cfg.freq_hz == pytest.approx(1.09e9)
+        assert cfg.issue_width == 4
+        assert cfg.l1d.size_bytes == 32 * 1024
+        assert cfg.l2.size_bytes == 512 * 1024
+        assert cfg.mem_latency_ns == 120.0
+
+    def test_describe_contains_table1_facts(self):
+        text = MachineConfig().describe()
+        for token in ("22nm", "1.09 GHz", "4-issue", "32KB", "512KB", "120ns", "7.6"):
+            assert token in text
+
+    def test_with_cores(self):
+        cfg = MachineConfig().with_cores(32)
+        assert cfg.num_cores == 32
+        assert cfg.num_controllers == 8
+
+    def test_mlp_bounded_by_outstanding(self):
+        with pytest.raises(ValueError):
+            MachineConfig(mlp=16.0)
+
+    def test_cache_geometry_validation(self):
+        from repro.arch.config import CacheConfig
+
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 1000, 3, 1.0)  # not divisible
+
+    def test_num_sets(self):
+        from repro.arch.config import CacheConfig
+
+        c = CacheConfig("c", 32 * 1024, 8, 1.0)
+        assert c.num_sets == 64

@@ -1,0 +1,90 @@
+"""Tests for repro.ckpt.checkpoint (retention and rollback planning)."""
+
+import pytest
+
+from repro.ckpt.checkpoint import RETAINED_CHECKPOINTS, CheckpointStore
+
+
+def store_with(n_ckpts, records_per_interval=2, cores=4):
+    s = CheckpointStore(arch_bytes_per_core=1024, num_cores=cores)
+    for k in range(n_ckpts):
+        for r in range(records_per_interval):
+            s.current_log.add_record(k * 1000 + r * 8, k, core=0)
+        s.establish(useful_ns=float(k + 1) * 100, wall_ns=float(k + 1) * 120)
+    return s
+
+
+class TestEstablish:
+    def test_metadata(self):
+        s = store_with(1)
+        ck = s.checkpoints[0]
+        assert ck.index == 0
+        assert ck.useful_ns == 100.0
+        assert ck.data_bytes == 2 * 16
+        assert ck.arch_bytes == 4 * 1024
+        assert ck.total_bytes == ck.data_bytes + ck.arch_bytes
+
+    def test_new_log_opened(self):
+        s = store_with(1)
+        assert s.current_log.interval_index == 1
+        assert s.current_log.logged_bytes == 0
+
+    def test_participants_subset(self):
+        s = CheckpointStore(1024, 8)
+        ck = s.establish(1.0, 1.0, participants=frozenset({0, 1}))
+        assert ck.arch_bytes == 2 * 1024
+
+    def test_size_stats(self):
+        s = store_with(3)
+        assert s.count == 3
+        assert s.data_sizes() == [32, 32, 32]
+        assert s.total_data_bytes() == 96
+        assert s.max_data_bytes() == 32
+
+
+class TestRetention:
+    def test_old_log_payloads_pruned(self):
+        s = store_with(5)
+        for ck in s.checkpoints[:-RETAINED_CHECKPOINTS]:
+            assert ck.log.records == []
+        for ck in s.checkpoints[-RETAINED_CHECKPOINTS:]:
+            assert ck.log.records != []
+
+    def test_size_metadata_survives_pruning(self):
+        s = store_with(5)
+        assert s.checkpoints[0].data_bytes == 32
+
+
+class TestRollbackPlanning:
+    def test_rollback_to_most_recent(self):
+        s = store_with(3)
+        s.current_log.add_record(9000, 9, core=0)
+        logs = s.logs_to_rollback(2)
+        assert [l.interval_index for l in logs] == [3]
+        assert logs[0] is s.current_log
+
+    def test_rollback_two_back(self):
+        s = store_with(3)
+        logs = s.logs_to_rollback(1)
+        assert [l.interval_index for l in logs] == [3, 2]
+
+    def test_beyond_retention_rejected(self):
+        s = store_with(5)
+        with pytest.raises(ValueError, match="retention"):
+            s.logs_to_rollback(1)
+
+    def test_not_established_rejected(self):
+        s = store_with(2)
+        with pytest.raises(ValueError):
+            s.logs_to_rollback(5)
+
+    def test_rollback_to_initial_state_when_few_checkpoints(self):
+        s = store_with(1)
+        logs = s.logs_to_rollback(-1)
+        assert [l.interval_index for l in logs] == [1, 0]
+
+    def test_rollback_newest_first_ordering(self):
+        s = store_with(2)
+        logs = s.logs_to_rollback(0)
+        indices = [l.interval_index for l in logs]
+        assert indices == sorted(indices, reverse=True)

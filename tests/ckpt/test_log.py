@@ -1,0 +1,38 @@
+"""Tests for repro.ckpt.log."""
+
+from repro.arch.buffers import AddrMapEntry
+from repro.ckpt.log import LOG_RECORD_BYTES, IntervalLog
+from repro.compiler.slices import Slice
+from repro.isa.instructions import MoviInstr
+
+
+def dummy_entry(addr):
+    sl = Slice(0, (MoviInstr(0, 5),), (), 0)
+    return AddrMapEntry(addr, sl, ())
+
+
+class TestIntervalLog:
+    def test_sizes(self):
+        log = IntervalLog(0)
+        log.add_record(0, 1, core=0)
+        log.add_record(8, 2, core=1)
+        log.add_omitted(16, dummy_entry(16), core=0, ground_truth=5)
+        assert log.logged_bytes == 2 * LOG_RECORD_BYTES
+        assert log.omitted_bytes == LOG_RECORD_BYTES
+        assert log.baseline_bytes == 3 * LOG_RECORD_BYTES
+        assert log.handled_addresses == 3
+
+    def test_per_core_maps(self):
+        log = IntervalLog(0)
+        log.add_record(0, 1, core=0)
+        log.add_record(8, 1, core=0)
+        log.add_record(16, 1, core=2)
+        log.add_omitted(24, dummy_entry(24), core=2, ground_truth=5)
+        assert log.records_per_core() == {0: 2, 2: 1}
+        assert log.omitted_per_core() == {2: 1}
+
+    def test_empty(self):
+        log = IntervalLog(3)
+        assert log.logged_bytes == 0
+        assert log.baseline_bytes == 0
+        assert log.records_per_core() == {}

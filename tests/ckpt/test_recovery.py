@@ -1,0 +1,177 @@
+"""Tests for repro.ckpt.recovery."""
+
+import pytest
+
+from repro.arch.buffers import AddrMapEntry
+from repro.arch.config import MachineConfig
+from repro.arch.memctrl import MemorySystem
+from repro.ckpt.log import IntervalLog
+from repro.ckpt.recovery import RecoveryEngine
+from repro.compiler.slices import Slice
+from repro.energy.accounting import EnergyLedger
+from repro.energy.model import EnergyModel
+from repro.isa.instructions import AluInstr, MoviInstr
+from repro.isa.interpreter import MemoryImage
+from repro.isa.opcodes import Opcode
+
+
+def const_slice(value):
+    return Slice(0, (MoviInstr(0, value),), (), 0)
+
+
+def plus_slice(offset):
+    """Slice computing operand + offset."""
+    return Slice(
+        0,
+        (MoviInstr(1, offset), AluInstr(Opcode.ADD, 2, 0, 1)),
+        (0,),
+        2,
+    )
+
+
+@pytest.fixture
+def engine():
+    cfg = MachineConfig(num_cores=4)
+    return RecoveryEngine(cfg, MemorySystem(cfg), EnergyModel())
+
+
+class TestCosts:
+    def test_pure_log_restore(self, engine):
+        log = IntervalLog(1)
+        for i in range(10):
+            log.add_record(i * 8, i, core=0)
+        ledger = EnergyLedger()
+        costs = engine.recovery_costs([log], [0, 1, 2, 3], ledger)
+        assert costs.restored_records == 10
+        assert costs.recomputed_values == 0
+        assert costs.rollback_ns > 0
+        assert costs.recompute_ns == 0
+        assert ledger.get("rec.restore") > 0
+
+    def test_recompute_costs_scale_with_slice_length(self, engine):
+        def log_with_slice_len(n):
+            log = IntervalLog(1)
+            sl = Slice(0, tuple(MoviInstr(0, i) for i in range(n)), (), 0)
+            log.add_omitted(0, AddrMapEntry(0, sl, ()), core=0, ground_truth=n - 1)
+            return log
+
+        c_short = engine.recovery_costs(
+            [log_with_slice_len(2)], [0], EnergyLedger()
+        )
+        c_long = engine.recovery_costs(
+            [log_with_slice_len(40)], [0], EnergyLedger()
+        )
+        assert c_long.recompute_ns > c_short.recompute_ns
+        assert c_long.recompute_instructions == 40
+
+    def test_non_participant_records_skipped(self, engine):
+        log = IntervalLog(1)
+        log.add_record(0, 1, core=0)
+        log.add_record(8, 1, core=3)
+        costs = engine.recovery_costs([log], [0], EnergyLedger())
+        assert costs.restored_records == 1
+
+    def test_recompute_parallel_across_cores(self, engine):
+        log_two_cores = IntervalLog(1)
+        log_one_core = IntervalLog(1)
+        sl = const_slice(1)
+        for i in range(8):
+            log_two_cores.add_omitted(
+                i * 8, AddrMapEntry(i * 8, sl, ()), core=i % 2, ground_truth=1
+            )
+            log_one_core.add_omitted(
+                i * 8, AddrMapEntry(i * 8, sl, ()), core=0, ground_truth=1
+            )
+        c2 = engine.recovery_costs([log_two_cores], [0, 1], EnergyLedger())
+        c1 = engine.recovery_costs([log_one_core], [0, 1], EnergyLedger())
+        assert c2.recompute_ns < c1.recompute_ns
+
+
+class TestFunctionalRestore:
+    def test_logged_values_restored(self, engine):
+        mem = MemoryImage(0)
+        mem.write(0, 100)  # current (wrong) value
+        log = IntervalLog(1)
+        log.add_record(0, 42, core=0)
+        restored = engine.apply_rollback(mem, [log])
+        assert mem.read(0) == 42
+        assert restored == {0: 42}
+
+    def test_omitted_values_recomputed_not_copied(self, engine):
+        mem = MemoryImage(0)
+        mem.write(8, 999)
+        log = IntervalLog(1)
+        # ground truth deliberately wrong: apply_rollback must use the
+        # slice, proving it never reads the verification field.
+        log.add_omitted(8, AddrMapEntry(8, const_slice(7), ()), 0, ground_truth=123)
+        engine.apply_rollback(mem, [log])
+        assert mem.read(8) == 7
+
+    def test_oldest_log_wins(self, engine):
+        mem = MemoryImage(0)
+        newer = IntervalLog(2)
+        newer.add_record(0, 50, core=0)
+        older = IntervalLog(1)
+        older.add_record(0, 40, core=0)
+        engine.apply_rollback(mem, [newer, older])
+        assert mem.read(0) == 40
+
+    def test_operand_snapshot_used(self, engine):
+        mem = MemoryImage(0)
+        log = IntervalLog(1)
+        log.add_omitted(
+            0, AddrMapEntry(0, plus_slice(5), (37,)), core=0, ground_truth=42
+        )
+        engine.apply_rollback(mem, [log])
+        assert mem.read(0) == 42
+
+    def test_verify_recomputation_catches_mismatch(self, engine):
+        good = IntervalLog(1)
+        good.add_omitted(0, AddrMapEntry(0, const_slice(7), ()), 0, ground_truth=7)
+        bad = IntervalLog(2)
+        bad.add_omitted(8, AddrMapEntry(8, const_slice(7), ()), 0, ground_truth=8)
+        assert RecoveryEngine.verify_recomputation([good]) == []
+        assert RecoveryEngine.verify_recomputation([good, bad]) == [8]
+
+
+class TestScratchpadMode:
+    def _engine(self, scratchpad):
+        cfg = MachineConfig(num_cores=2, scratchpad_recompute=scratchpad)
+        return RecoveryEngine(cfg, MemorySystem(cfg), EnergyModel()), cfg
+
+    def _log(self, n_omitted=64, n_logged=64, slice_len=8):
+        log = IntervalLog(1)
+        sl = Slice(0, tuple(MoviInstr(0, i) for i in range(slice_len)), (), 0)
+        for i in range(n_logged):
+            log.add_record(i * 8, i, core=0)
+        for i in range(n_omitted):
+            log.add_omitted(
+                (1 << 20) + i * 8, AddrMapEntry(0, sl, ()), core=0,
+                ground_truth=slice_len - 1,
+            )
+        return log
+
+    def test_scratchpad_overlaps_restore(self):
+        plain, _ = self._engine(False)
+        spad, _ = self._engine(True)
+        log = self._log()
+        c_plain = plain.recovery_costs([log], [0, 1], EnergyLedger())
+        c_spad = spad.recovery_costs([log], [0, 1], EnergyLedger())
+        assert c_spad.recompute_ns < c_plain.recompute_ns
+        assert c_spad.rollback_ns == pytest.approx(c_plain.rollback_ns)
+
+    def test_scratchpad_costs_extra_energy(self):
+        plain, _ = self._engine(False)
+        spad, _ = self._engine(True)
+        log = self._log()
+        l_plain, l_spad = EnergyLedger(), EnergyLedger()
+        plain.recovery_costs([log], [0, 1], l_plain)
+        spad.recovery_costs([log], [0, 1], l_spad)
+        assert l_spad.get("rec.recompute") > l_plain.get("rec.recompute")
+
+    def test_functional_restore_unaffected(self):
+        spad, _ = self._engine(True)
+        mem = MemoryImage(0)
+        log = self._log(n_omitted=4, n_logged=0, slice_len=3)
+        spad.apply_rollback(mem, [log])
+        assert mem.read(1 << 20) == 2  # last MOVI value

@@ -1,0 +1,133 @@
+"""Tests for repro.compiler.policy, costmodel and embed."""
+
+import pytest
+
+from repro.compiler.costmodel import RecomputeCostModel
+from repro.compiler.embed import compile_program
+from repro.compiler.policy import CostModelPolicy, ThresholdPolicy
+from repro.compiler.slices import Slice
+from repro.isa.builder import chain_kernel
+from repro.isa.instructions import AddressPattern, MoviInstr, StoreInstr
+from repro.isa.program import Program
+
+STORE = AddressPattern(0, 1, 8)
+INPUT = AddressPattern(4096, 1, 8)
+
+
+def slice_of_length(n, frontier=1):
+    instrs = tuple(MoviInstr(i, i) for i in range(n))
+    return Slice(0, instrs, tuple(range(100, 100 + frontier)), n - 1 if n else 0)
+
+
+class TestThresholdPolicy:
+    def test_accepts_within_threshold(self):
+        p = ThresholdPolicy(10)
+        assert p.accept(slice_of_length(10))
+        assert p.accept(slice_of_length(1))
+
+    def test_rejects_above_threshold(self):
+        assert not ThresholdPolicy(10).accept(slice_of_length(11))
+
+    def test_rejects_trivial(self):
+        assert not ThresholdPolicy(10).accept(slice_of_length(0))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(0)
+
+
+class TestCostModel:
+    def test_short_slice_energy_effective(self):
+        m = RecomputeCostModel()
+        assert m.is_energy_effective(slice_of_length(5))
+
+    def test_very_long_slice_not_energy_effective(self):
+        m = RecomputeCostModel()
+        assert not m.is_energy_effective(slice_of_length(200))
+
+    def test_latency_effectiveness_boundary(self):
+        m = RecomputeCostModel()
+        # latency threshold is dram_latency / alu_latency ≈ 130 instrs
+        assert m.is_latency_effective(slice_of_length(100))
+        assert not m.is_latency_effective(slice_of_length(200))
+
+    def test_policy_metrics(self):
+        sl = slice_of_length(5)
+        assert CostModelPolicy(metric="energy").accept(sl)
+        assert CostModelPolicy(metric="latency").accept(sl)
+        assert CostModelPolicy(metric="both").accept(sl)
+
+    def test_policy_rejects_trivial(self):
+        assert not CostModelPolicy().accept(slice_of_length(0))
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            CostModelPolicy(metric="speed")
+
+
+class TestCompileProgram:
+    def make_program(self):
+        kernels = [
+            chain_kernel("short", STORE, [INPUT], 3, 4),
+            chain_kernel("long", AddressPattern(64, 1, 8), [INPUT], 30, 4),
+            chain_kernel(
+                "copy", AddressPattern(128, 1, 8), [INPUT], 0, 4, copy_store=True
+            ),
+            chain_kernel(
+                "acc", AddressPattern(192, 1, 8), [INPUT], 3, 4, accumulate=True
+            ),
+        ]
+        return Program(kernels)
+
+    def test_default_policy_embeds_short_only(self):
+        cp = compile_program(self.make_program())
+        assert cp.stats.sites_total == 4
+        assert cp.stats.sites_sliceable == 2  # short + long
+        assert cp.stats.sites_embedded == 1  # only short (<=10)
+        assert cp.stats.sites_trivial == 1
+        assert cp.stats.sites_loop_carried == 1
+        assert len(cp.slices) == 1
+
+    def test_higher_threshold_embeds_more(self):
+        cp = compile_program(self.make_program(), ThresholdPolicy(40))
+        assert cp.stats.sites_embedded == 2
+
+    def test_assoc_flags_set_only_on_embedded(self):
+        cp = compile_program(self.make_program())
+        embedded_sites = set(cp.slices.sites)
+        for site_info in cp.program.store_sites:
+            store = cp.program.site_store(site_info.site)
+            assert store.assoc == (site_info.site in embedded_sites)
+
+    def test_site_ids_stable(self):
+        p = self.make_program()
+        cp = compile_program(p)
+        for a, b in zip(p.store_sites, cp.program.store_sites):
+            assert (a.site, a.kernel_index, a.instr_index) == (
+                b.site,
+                b.kernel_index,
+                b.instr_index,
+            )
+
+    def test_input_program_not_mutated(self):
+        p = self.make_program()
+        compile_program(p)
+        assert not any(
+            ins.assoc
+            for k in p.kernels
+            for ins in k.body
+            if isinstance(ins, StoreInstr)
+        )
+
+    def test_coverage_property(self):
+        cp = compile_program(self.make_program())
+        assert cp.stats.coverage == pytest.approx(0.25)
+
+    def test_embedded_bytes_positive(self):
+        cp = compile_program(self.make_program())
+        assert cp.stats.embedded_bytes == cp.slices.encoded_bytes > 0
+
+    def test_ghost_alu_preserved(self):
+        k = chain_kernel("g", STORE, [INPUT], 3, 4, ghost_alu=50)
+        cp = compile_program(Program([k]))
+        assert cp.program.kernels[0].ghost_alu == 50

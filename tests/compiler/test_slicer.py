@@ -1,0 +1,103 @@
+"""Tests for repro.compiler.slicer."""
+
+import pytest
+
+from repro.compiler.slicer import SliceRejection, extract_slice
+from repro.isa.builder import KernelBuilder, chain_kernel
+from repro.isa.instructions import AddressPattern, StoreInstr
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+STORE = AddressPattern(0, 1, 8)
+INPUT = AddressPattern(4096, 1, 8)
+
+
+def store_index(kernel):
+    return max(
+        i for i, ins in enumerate(kernel.body) if isinstance(ins, StoreInstr)
+    )
+
+
+class TestExtractSlice:
+    def test_chain_slice_length(self):
+        for depth in (1, 4, 9):
+            k = Program([chain_kernel("k", STORE, [INPUT], depth, 1)]).kernels[0]
+            ex = extract_slice(k, store_index(k))
+            assert ex.sliceable
+            # depth ALU instructions + 1 salt MOVI
+            assert ex.slice.length == depth + 1
+
+    def test_frontier_is_load_register(self):
+        k = Program([chain_kernel("k", STORE, [INPUT], 3, 1)]).kernels[0]
+        ex = extract_slice(k, store_index(k))
+        load_dst = k.body[0].dst
+        assert ex.slice.frontier == (load_dst,)
+
+    def test_copy_store_trivial(self):
+        k = Program(
+            [chain_kernel("k", STORE, [INPUT], 0, 1, copy_store=True)]
+        ).kernels[0]
+        ex = extract_slice(k, store_index(k))
+        assert not ex.sliceable
+        assert ex.rejection is SliceRejection.TRIVIAL
+
+    def test_accumulator_loop_carried(self):
+        k = Program(
+            [chain_kernel("k", STORE, [INPUT], 3, 2, accumulate=True)]
+        ).kernels[0]
+        ex = extract_slice(k, store_index(k))
+        assert not ex.sliceable
+        assert ex.rejection is SliceRejection.LOOP_CARRIED
+
+    def test_non_store_index_rejected(self):
+        k = chain_kernel("k", STORE, [INPUT], 2, 1)
+        with pytest.raises(ValueError):
+            extract_slice(k, 0)
+
+    def test_slice_excludes_memory_instructions(self):
+        from repro.isa.instructions import AluInstr, MoviInstr
+
+        k = Program([chain_kernel("k", STORE, [INPUT], 5, 1)]).kernels[0]
+        ex = extract_slice(k, store_index(k))
+        for ins in ex.slice.instructions:
+            assert isinstance(ins, (AluInstr, MoviInstr))
+
+    def test_pure_immediate_chain_sliceable_with_empty_frontier(self):
+        k = Program([chain_kernel("k", STORE, [], 3, 1, salt=5)]).kernels[0]
+        ex = extract_slice(k, store_index(k))
+        assert ex.sliceable
+        assert ex.slice.frontier == ()
+
+    def test_result_register_matches_store_source(self):
+        k = Program([chain_kernel("k", STORE, [INPUT], 2, 1)]).kernels[0]
+        idx = store_index(k)
+        ex = extract_slice(k, idx)
+        assert ex.slice.result_reg == k.body[idx].src
+
+    def test_multi_input_frontier_sorted(self):
+        inputs = [INPUT, AddressPattern(8192, 1, 8)]
+        k = Program([chain_kernel("k", STORE, inputs, 6, 1)]).kernels[0]
+        ex = extract_slice(k, store_index(k))
+        assert list(ex.slice.frontier) == sorted(ex.slice.frontier)
+        assert len(ex.slice.frontier) == 2
+
+
+class TestSliceExecutionMatchesInterpreter:
+    def test_recompute_reproduces_stored_value(self):
+        from repro.isa.interpreter import Interpreter, MemoryImage
+
+        k = chain_kernel("k", STORE, [INPUT], 6, 8, salt=77)
+        program = Program([k])
+        ex = extract_slice(program.kernels[0], store_index(program.kernels[0]))
+        sl = ex.slice
+        mem = MemoryImage(13)
+        checks = []
+
+        def on_store(ev):
+            operands = tuple(ev.regs[r] for r in sl.frontier)
+            checks.append((operands, ev.new_value))
+
+        Interpreter(program, mem, on_store=on_store).run_to_completion()
+        assert len(checks) == 8
+        for operands, expected in checks:
+            assert sl.execute(operands) == expected

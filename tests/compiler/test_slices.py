@@ -1,0 +1,100 @@
+"""Tests for repro.compiler.slices (Slice execution and SliceTable)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compiler.slices import SLICE_INSTR_BYTES, Slice, SliceTable
+from repro.isa.instructions import AluInstr, MoviInstr
+from repro.isa.opcodes import MASK64, Opcode
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def add_slice(site=0):
+    """Slice computing operand + 7."""
+    return Slice(
+        site=site,
+        instructions=(MoviInstr(1, 7), AluInstr(Opcode.ADD, 2, 0, 1)),
+        frontier=(0,),
+        result_reg=2,
+    )
+
+
+class TestSlice:
+    def test_execute(self):
+        assert add_slice().execute([35]) == 42
+
+    def test_length_and_bytes(self):
+        sl = add_slice()
+        assert sl.length == 2
+        assert sl.encoded_bytes == 2 * SLICE_INSTR_BYTES
+        assert not sl.is_trivial
+
+    def test_trivial(self):
+        sl = Slice(0, (), (0,), 0)
+        assert sl.is_trivial
+        assert sl.execute([9]) == 9
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(ValueError):
+            add_slice().execute([])
+        with pytest.raises(ValueError):
+            add_slice().execute([1, 2])
+
+    def test_missing_result_register(self):
+        sl = Slice(0, (MoviInstr(1, 7),), (0,), 99)
+        with pytest.raises(ValueError):
+            sl.execute([1])
+
+    def test_operands_masked(self):
+        assert add_slice().execute([MASK64 + 8]) == 14  # masked to 7... (7+7)
+
+    @given(U64)
+    def test_execution_is_pure(self, v):
+        sl = add_slice()
+        assert sl.execute([v]) == sl.execute([v])
+
+    @given(U64)
+    def test_result_in_range(self, v):
+        assert 0 <= add_slice().execute([v]) <= MASK64
+
+
+class TestSliceTable:
+    def test_add_get(self):
+        t = SliceTable()
+        sl = add_slice(3)
+        t.add(sl)
+        assert t.get(3) is sl
+        assert t.get(4) is None
+        assert 3 in t
+        assert len(t) == 1
+
+    def test_duplicate_site_rejected(self):
+        t = SliceTable()
+        t.add(add_slice(1))
+        with pytest.raises(ValueError):
+            t.add(add_slice(1))
+
+    def test_sites_sorted(self):
+        t = SliceTable()
+        for s in (5, 1, 3):
+            t.add(add_slice(s))
+        assert t.sites == [1, 3, 5]
+
+    def test_encoded_bytes(self):
+        t = SliceTable()
+        t.add(add_slice(0))
+        t.add(add_slice(1))
+        assert t.encoded_bytes == 4 * SLICE_INSTR_BYTES
+
+    def test_length_histogram(self):
+        t = SliceTable()
+        t.add(add_slice(0))
+        t.add(add_slice(1))
+        t.add(Slice(2, (MoviInstr(0, 1),), (), 0))
+        assert t.length_histogram() == {2: 2, 1: 1}
+
+    def test_iteration(self):
+        t = SliceTable()
+        t.add(add_slice(0))
+        assert [sl.site for sl in t] == [0]

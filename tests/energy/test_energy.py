@@ -1,0 +1,140 @@
+"""Tests for the energy package."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.accounting import EnergyLedger
+from repro.energy.edp import combined_edp_reduction, edp, edp_reduction
+from repro.energy.model import EnergyModel
+from repro.energy.technology import (
+    TECHNOLOGY_NODES,
+    component_error_rate_series,
+    expected_errors,
+    relative_error_rate,
+    system_error_probability,
+)
+
+
+class TestEnergyModel:
+    def test_technology_imbalance(self):
+        m = EnergyModel()
+        # The paper's premise: DRAM >> L2 > L1 >> ALU.
+        word = m.dram_transfer_pj(8)
+        assert word > 10 * m.l2_access_pj / 4
+        assert m.l2_access_pj > m.l1d_access_pj > m.alu_op_pj
+        assert word / m.alu_op_pj > 100
+
+    def test_dram_transfer_linear(self):
+        m = EnergyModel()
+        assert m.dram_transfer_pj(128) == pytest.approx(2 * m.dram_transfer_pj(64))
+
+    def test_leakage(self):
+        m = EnergyModel()
+        assert m.leakage_pj(2, 10.0) == pytest.approx(
+            2 * 10.0 * (m.core_leakage_pj_per_ns + m.uncore_leakage_pj_per_ns)
+        )
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(alu_op_pj=-1.0)
+
+
+class TestEnergyLedger:
+    def test_add_and_total(self):
+        l = EnergyLedger()
+        l.add("a.x", 10.0)
+        l.add("a.y", 5.0)
+        l.add("b.z", 1.0)
+        assert l.total_pj() == pytest.approx(16.0)
+        assert l.total_pj("a.") == pytest.approx(15.0)
+        assert l.get("a.x") == pytest.approx(10.0)
+        assert l.get("missing") == 0.0
+
+    def test_accumulation(self):
+        l = EnergyLedger()
+        l.add("a", 1.0)
+        l.add("a", 2.0)
+        assert l.get("a") == pytest.approx(3.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyLedger().add("a", -1.0)
+
+    def test_merge(self):
+        a, b = EnergyLedger(), EnergyLedger()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.get("x") == pytest.approx(3.0)
+        assert a.get("y") == pytest.approx(3.0)
+
+    def test_copy_independent(self):
+        a = EnergyLedger()
+        a.add("x", 1.0)
+        c = a.copy()
+        c.add("x", 1.0)
+        assert a.get("x") == pytest.approx(1.0)
+
+    def test_describe_contains_total(self):
+        l = EnergyLedger()
+        l.add("x", 1000.0)
+        assert "TOTAL" in l.describe()
+
+    def test_buckets_sorted(self):
+        l = EnergyLedger()
+        l.add("b", 1.0)
+        l.add("a", 1.0)
+        assert [k for k, _ in l.buckets()] == ["a", "b"]
+
+
+class TestEdp:
+    def test_edp(self):
+        assert edp(2.0, 3.0) == 6.0
+
+    def test_edp_reduction(self):
+        assert edp_reduction(10.0, 5.0) == pytest.approx(0.5)
+
+    def test_edp_reduction_zero_baseline(self):
+        with pytest.raises(ValueError):
+            edp_reduction(0.0, 1.0)
+
+    def test_combined_matches_paper_is_numbers(self):
+        # Fig 6/7/8 for `is`: 28.81% time, 26.93% energy -> 47.98% EDP.
+        red = combined_edp_reduction(0.2881, 0.2693)
+        assert red == pytest.approx(0.4798, abs=0.002)
+
+    @given(
+        st.floats(min_value=0, max_value=0.99),
+        st.floats(min_value=0, max_value=0.99),
+    )
+    def test_combined_bounded(self, rt, re):
+        c = combined_edp_reduction(rt, re)
+        assert max(rt, re) - 1e-9 <= c < 1.0
+
+
+class TestTechnology:
+    def test_error_rate_growth(self):
+        assert relative_error_rate(0) == 1.0
+        assert relative_error_rate(1) == pytest.approx(1.08)
+        assert relative_error_rate(8) == pytest.approx(1.08**8)
+
+    def test_series_matches_nodes(self):
+        series = component_error_rate_series()
+        assert len(series) == len(TECHNOLOGY_NODES)
+        assert series[0] == (180, 1.0)
+        rates = [r for _, r in series]
+        assert rates == sorted(rates)
+
+    def test_system_error_probability_monotone_in_components(self):
+        p1 = system_error_probability(1e-9, 8, 1.0)
+        p2 = system_error_probability(1e-9, 32, 1.0)
+        assert 0 < p1 < p2 < 1
+
+    def test_expected_errors(self):
+        assert expected_errors(0.5, 4, 2.0) == pytest.approx(4.0)
+
+    def test_zero_duration(self):
+        assert system_error_probability(1.0, 8, 0.0) == 0.0

@@ -1,0 +1,137 @@
+"""Tests for the errors package (model, injection, detection)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors.detection import choose_safe_checkpoint
+from repro.errors.injection import NoErrors, PoissonErrors, UniformErrors
+from repro.errors.model import ErrorModel, ErrorOccurrence
+
+
+class TestErrorModel:
+    def test_detection_latency(self):
+        m = ErrorModel(0.5)
+        assert m.detection_latency_ns(100.0) == 50.0
+
+    def test_occurrence(self):
+        occ = ErrorModel(0.5).occurrence(10.0, 100.0)
+        assert occ.occurred_ns == 10.0
+        assert occ.detected_ns == 60.0
+        assert occ.detection_latency_ns == 50.0
+
+    def test_latency_above_period_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorModel(1.5)
+
+    def test_detected_before_occurred_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorOccurrence(10.0, 5.0)
+
+
+class TestSchedules:
+    def test_no_errors(self):
+        assert NoErrors().occurrence_times(1e6) == []
+
+    def test_uniform_single_error_mid_run(self):
+        times = UniformErrors(1).occurrence_times(100.0)
+        assert times == [50.0]
+
+    def test_uniform_five_errors(self):
+        times = UniformErrors(5).occurrence_times(600.0)
+        assert times == [100.0, 200.0, 300.0, 400.0, 500.0]
+
+    def test_uniform_all_within_run(self):
+        for n in range(1, 10):
+            times = UniformErrors(n).occurrence_times(1000.0)
+            assert len(times) == n
+            assert all(0 < t < 1000.0 for t in times)
+
+    def test_uniform_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            UniformErrors(0)
+
+    def test_poisson_deterministic_per_seed(self):
+        a = PoissonErrors(3.0, seed=1).occurrence_times(1000.0)
+        b = PoissonErrors(3.0, seed=1).occurrence_times(1000.0)
+        assert a == b
+
+    def test_poisson_seed_changes_times(self):
+        a = PoissonErrors(3.0, seed=1).occurrence_times(1000.0)
+        b = PoissonErrors(3.0, seed=2).occurrence_times(1000.0)
+        assert a != b
+
+    def test_poisson_times_sorted_and_bounded(self):
+        times = PoissonErrors(5.0, seed=3).occurrence_times(1000.0)
+        assert times == sorted(times)
+        assert all(0 <= t < 1000.0 for t in times)
+
+    def test_poisson_mean_roughly_right(self):
+        total = sum(
+            len(PoissonErrors(4.0, seed=s).occurrence_times(1000.0))
+            for s in range(50)
+        )
+        assert 100 < total < 300  # mean 200
+
+    def test_poisson_empty_run(self):
+        assert PoissonErrors(4.0, seed=1).occurrence_times(0.0) == []
+
+
+class TestSafeCheckpointChoice:
+    CKPTS = [100.0, 200.0, 300.0]
+
+    def choice(self, occurred, detected):
+        return choose_safe_checkpoint(
+            ErrorOccurrence(occurred, detected), self.CKPTS
+        )
+
+    def test_detected_same_interval(self):
+        # Error and detection both inside interval (200, 300): roll back
+        # to ckpt at 200 (index 1).
+        c = self.choice(250.0, 280.0)
+        assert c.checkpoint_index == 1
+        assert not c.skipped_corrupted
+
+    def test_fig2_case_checkpoint_corrupted(self):
+        # Error right before ckpt at 200, detected after it: ckpt 200 is
+        # suspect, roll back to ckpt at 100 (index 0).
+        c = self.choice(195.0, 230.0)
+        assert c.checkpoint_index == 0
+        assert c.skipped_corrupted
+
+    def test_error_before_first_checkpoint(self):
+        c = self.choice(50.0, 80.0)
+        assert c.checkpoint_index == -1
+        assert not c.skipped_corrupted
+
+    def test_error_before_first_detected_after_it(self):
+        c = self.choice(90.0, 150.0)
+        assert c.checkpoint_index == -1
+        assert c.skipped_corrupted
+
+    def test_checkpoint_at_exact_occurrence_is_safe(self):
+        c = self.choice(200.0, 250.0)
+        assert c.checkpoint_index == 1
+        assert not c.skipped_corrupted
+
+    def test_unsorted_checkpoints_rejected(self):
+        with pytest.raises(ValueError):
+            choose_safe_checkpoint(ErrorOccurrence(1.0, 2.0), [3.0, 1.0])
+
+    def test_no_checkpoints(self):
+        c = choose_safe_checkpoint(ErrorOccurrence(1.0, 2.0), [])
+        assert c.checkpoint_index == -1
+
+    @given(
+        st.floats(min_value=0, max_value=1000),
+        st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_safe_checkpoint_is_never_after_occurrence(self, occurred, latency):
+        c = choose_safe_checkpoint(
+            ErrorOccurrence(occurred, occurred + latency), self.CKPTS
+        )
+        if c.checkpoint_index >= 0:
+            assert self.CKPTS[c.checkpoint_index] <= occurred
+            # And it is the most recent such checkpoint.
+            if c.checkpoint_index + 1 < len(self.CKPTS):
+                assert self.CKPTS[c.checkpoint_index + 1] > occurred

@@ -1,0 +1,50 @@
+"""The two-checkpoint retention theorem (paper §II-A), as a property.
+
+If the error-detection latency never exceeds the checkpoint period, then
+for any error the safe checkpoint is at worst the *second most recent*
+checkpoint established before detection — which is exactly why the BER
+baseline retains two checkpoints and why the AddrMap keeps two committed
+generations.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors.detection import choose_safe_checkpoint
+from repro.errors.model import ErrorModel
+
+
+@given(
+    st.floats(min_value=10.0, max_value=10_000.0),   # period
+    st.integers(min_value=1, max_value=50),          # checkpoints
+    st.floats(min_value=0.0, max_value=1.0),         # latency fraction
+    st.floats(min_value=0.0, max_value=1.0),         # error position
+)
+@settings(max_examples=300, deadline=None)
+def test_two_checkpoints_always_suffice(period, n_ckpts, latency_frac, pos):
+    ckpt_times = [period * (k + 1) for k in range(n_ckpts)]
+    total = ckpt_times[-1]
+    occurrence = ErrorModel(latency_frac).occurrence(pos * total, period)
+    choice = choose_safe_checkpoint(occurrence, ckpt_times)
+
+    # Checkpoints established before detection:
+    existing = sum(1 for t in ckpt_times if t <= occurrence.detected_ns)
+    # The safe checkpoint is within the two most recent existing ones
+    # (index -1 = initial state, which only happens while < 2 exist).
+    assert choice.checkpoint_index >= existing - 2
+    assert choice.checkpoint_index <= existing - 1
+
+
+@given(
+    st.floats(min_value=10.0, max_value=10_000.0),
+    st.integers(min_value=2, max_value=50),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_zero_latency_always_most_recent(period, n_ckpts, pos):
+    ckpt_times = [period * (k + 1) for k in range(n_ckpts)]
+    total = ckpt_times[-1]
+    occurrence = ErrorModel(0.0).occurrence(pos * total, period)
+    choice = choose_safe_checkpoint(occurrence, ckpt_times)
+    existing = sum(1 for t in ckpt_times if t <= occurrence.detected_ns)
+    assert choice.checkpoint_index == existing - 1
+    assert not choice.skipped_corrupted

@@ -1,0 +1,89 @@
+"""Tests for repro.experiments.configs and runner."""
+
+import pytest
+
+from repro.experiments.configs import CONFIG_NAMES, ConfigRequest, make_options
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.results import BaselineProfile
+
+
+class TestConfigRequest:
+    def test_all_nine_names(self):
+        assert len(CONFIG_NAMES) == 9
+        for name in CONFIG_NAMES:
+            ConfigRequest(name)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            ConfigRequest("Ckpt_Quantum")
+
+    @pytest.mark.parametrize(
+        "name,scheme,acr,errors",
+        [
+            ("NoCkpt", "none", False, False),
+            ("Ckpt_NE", "global", False, False),
+            ("Ckpt_E", "global", False, True),
+            ("ReCkpt_NE", "global", True, False),
+            ("ReCkpt_E", "global", True, True),
+            ("Ckpt_NE_Loc", "local", False, False),
+            ("Ckpt_E_Loc", "local", False, True),
+            ("ReCkpt_NE_Loc", "local", True, False),
+            ("ReCkpt_E_Loc", "local", True, True),
+        ],
+    )
+    def test_semantics(self, name, scheme, acr, errors):
+        req = ConfigRequest(name)
+        assert req.scheme == scheme
+        assert req.acr == acr
+        assert req.with_errors == errors
+
+    def test_make_options_baseline(self):
+        opts = make_options(ConfigRequest("NoCkpt"), None)
+        assert opts.scheme == "none"
+
+    def test_make_options_errors(self):
+        prof = BaselineProfile([100.0])
+        opts = make_options(ConfigRequest("ReCkpt_E", error_count=3), prof)
+        assert opts.acr
+        assert len(opts.errors.occurrence_times(100.0)) == 3
+
+    def test_request_hashable_for_caching(self):
+        a = ConfigRequest("Ckpt_NE", num_checkpoints=25)
+        b = ConfigRequest("Ckpt_NE", num_checkpoints=25)
+        assert a == b and hash(a) == hash(b)
+
+
+@pytest.fixture(scope="module")
+def small_runner():
+    return ExperimentRunner(num_cores=2, region_scale=0.1, reps=12)
+
+
+class TestExperimentRunner:
+    def test_memoisation(self, small_runner):
+        a = small_runner.run("bt", ConfigRequest("Ckpt_NE", num_checkpoints=6))
+        b = small_runner.run("bt", ConfigRequest("Ckpt_NE", num_checkpoints=6))
+        assert a is b
+
+    def test_distinct_requests_distinct_runs(self, small_runner):
+        a = small_runner.run("bt", ConfigRequest("Ckpt_NE", num_checkpoints=6))
+        c = small_runner.run("bt", ConfigRequest("Ckpt_NE", num_checkpoints=12))
+        assert a is not c
+        assert c.checkpoint_count == 12
+
+    def test_default_threshold_lookup(self, small_runner):
+        assert small_runner.default_threshold("is") == 5
+        assert small_runner.default_threshold("bt") == 10
+
+    def test_overhead_helpers(self, small_runner):
+        req = ConfigRequest("Ckpt_NE", num_checkpoints=6)
+        assert small_runner.time_overhead("bt", req) > 0
+        assert small_runner.energy_overhead("bt", req) > 0
+
+    def test_core_count_mismatch_rejected(self):
+        from repro.arch.config import MachineConfig
+
+        with pytest.raises(ValueError):
+            ExperimentRunner(num_cores=4, machine=MachineConfig(num_cores=8))
+
+    def test_workloads_list(self, small_runner):
+        assert "is" in small_runner.workloads()

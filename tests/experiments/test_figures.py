@@ -1,0 +1,94 @@
+"""Tests for the figure/table generators (small scale, subset checks).
+
+These verify plumbing and invariants; the full-scale shape checks against
+the paper live in the benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments.configs import ConfigRequest
+from repro.experiments.figures import (
+    fig1_error_rate,
+    fig6_time_overhead,
+    fig8_edp_reduction,
+    fig9_checkpoint_size,
+    fig10_temporal,
+    fig13_local,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables_ import table1_configuration, table2_threshold_sweep
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(num_cores=4, region_scale=0.12, reps=20)
+
+
+class TestFig1:
+    def test_series(self):
+        fig = fig1_error_rate()
+        assert fig.series["rates"][0] == 1.0
+        assert "180" in fig.render()
+
+
+class TestFig6:
+    def test_structure_and_invariants(self, runner):
+        fig = fig6_time_overhead(runner)
+        assert set(fig.series) == set(runner.workloads())
+        for wl, v in fig.series.items():
+            assert v["ReCkpt_NE"] <= v["Ckpt_NE"], wl
+            assert v["Ckpt_E"] >= v["Ckpt_NE"], wl
+        assert "average ACR reduction" in fig.render()
+
+
+class TestFig8:
+    def test_edp_composition(self, runner):
+        fig = fig8_edp_reduction(runner)
+        for wl, v in fig.series.items():
+            assert -0.1 <= v["NE"] < 1.0
+            assert -0.1 <= v["E"] < 1.0
+
+
+class TestFig9:
+    def test_reductions_bounded(self, runner):
+        fig = fig9_checkpoint_size(runner)
+        for wl, v in fig.series.items():
+            assert 0.0 <= v["overall"] < 1.0
+            assert v["max"] < 1.0
+
+
+class TestFig10:
+    def test_threshold_dominance(self, runner):
+        fig = fig10_temporal(runner, "bt", thresholds=(10, 30))
+        t10, t30 = fig.series["thr10"], fig.series["thr30"]
+        assert len(t10) == len(t30) == 25
+        for a, b in zip(t10, t30):
+            assert b >= a - 1e-9
+
+
+class TestFig13:
+    def test_normalisation(self, runner):
+        fig = fig13_local(runner)
+        for wl, v in fig.series.items():
+            for ratio in v.values():
+                assert 0.3 < ratio < 1.05
+
+
+class TestTables:
+    def test_table1_text(self):
+        assert "1.09 GHz" in table1_configuration()
+
+    def test_table2_monotone(self, runner):
+        fig = table2_threshold_sweep(runner, thresholds=(10, 30, 50))
+        for wl, reds in fig.series.items():
+            assert reds == sorted(reds), wl
+        assert "paper" in fig.render()
+
+
+class TestRenderedTables:
+    def test_render_is_aligned_ascii(self, runner):
+        fig = fig9_checkpoint_size(runner)
+        lines = fig.render().splitlines()
+        assert lines[0].startswith("Figure 9")
+        widths = {len(l) for l in lines[1:4]}
+        assert len(widths) == 1  # header, rule and first row align

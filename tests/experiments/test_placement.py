@@ -1,0 +1,79 @@
+"""Tests for the recomputation-aware placement extension."""
+
+import pytest
+
+from repro.experiments.placement import aware_boundaries, profile_reductions
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.configs import ConfigRequest
+from repro.sim.simulator import SimulationOptions
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(num_cores=2, region_scale=0.12, reps=24)
+
+
+@pytest.fixture(scope="module")
+def profile_run(runner):
+    return runner.run("bt", ConfigRequest("ReCkpt_NE", num_checkpoints=24))
+
+
+class TestAwareBoundaries:
+    def test_boundary_count_and_ordering(self, profile_run):
+        plan = aware_boundaries(profile_run, 8)
+        assert len(plan.boundaries) == 8
+        assert plan.boundaries == sorted(plan.boundaries)
+        assert plan.boundaries[-1] == pytest.approx(
+            profile_run.intervals[-1].useful_ns
+        )
+
+    def test_stretch_bound_respected(self, profile_run):
+        plan = aware_boundaries(profile_run, 8, max_stretch=1.5)
+        total = plan.boundaries[-1]
+        period = total / 8
+        last = 0.0
+        for b in plan.boundaries:
+            assert b - last <= period * 1.5 + 1e-6
+            last = b
+
+    def test_grid_must_be_finer(self, profile_run):
+        with pytest.raises(ValueError, match="finer"):
+            aware_boundaries(profile_run, 100)
+
+    def test_profile_reductions(self, profile_run):
+        reds = profile_reductions(profile_run)
+        assert len(reds) == 24
+        assert all(0.0 <= r <= 1.0 for r in reds)
+
+    def test_plan_runs_in_simulator(self, runner, profile_run):
+        plan = aware_boundaries(profile_run, 8)
+        sim = runner.simulator("bt")
+        base = runner.baseline("bt")
+        run = sim.run(
+            SimulationOptions(
+                label="aware",
+                scheme="global",
+                acr=True,
+                num_checkpoints=8,
+                baseline=base.baseline_profile(),
+                boundaries=plan.boundaries,
+            )
+        )
+        assert run.checkpoint_count == 8
+
+    def test_custom_boundaries_validated(self, runner):
+        base = runner.baseline("bt")
+        with pytest.raises(ValueError, match="ascending"):
+            SimulationOptions(
+                scheme="global",
+                num_checkpoints=2,
+                baseline=base.baseline_profile(),
+                boundaries=[5.0, 1.0],
+            )
+        with pytest.raises(ValueError, match="match"):
+            SimulationOptions(
+                scheme="global",
+                num_checkpoints=3,
+                baseline=base.baseline_profile(),
+                boundaries=[1.0, 2.0],
+            )

@@ -1,0 +1,67 @@
+"""Tests for the sweep figures (11, 12) and scalability generator.
+
+These use a 2-core, tiny-scale runner restricted to two benchmarks so the
+sweeps stay fast; the full-scale shape assertions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    fig11_error_sweep,
+    fig12_frequency_sweep,
+    scalability,
+)
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    r = ExperimentRunner(num_cores=2, region_scale=0.1, reps=16)
+    r.workloads = lambda: ["bt", "is"]
+    return r
+
+
+class TestFig11:
+    def test_structure(self, runner):
+        fig = fig11_error_sweep(runner, error_counts=(1, 3))
+        assert set(fig.series) == {"bt", "is"}
+        for wl, per_n in fig.series.items():
+            assert set(per_n) == {1, 3}
+            for n in per_n:
+                # At this tiny scale with frequent errors, recomputation
+                # during recovery can eat most of the checkpoint savings
+                # (the paper's own o_rcmp trade-off); ACR must still stay
+                # within a few percent of the baseline.
+                assert per_n[n]["ReCkpt_E"] <= per_n[n]["Ckpt_E"] * 1.05
+        assert "Ckpt 1e %" in fig.render()
+
+    def test_more_errors_cost_more(self, runner):
+        fig = fig11_error_sweep(runner, error_counts=(1, 3))
+        for wl, per_n in fig.series.items():
+            assert per_n[3]["Ckpt_E"] > per_n[1]["Ckpt_E"], wl
+
+
+class TestFig12:
+    def test_structure_and_growth(self, runner):
+        fig = fig12_frequency_sweep(runner, counts=(4, 8, 16))
+        for wl, per_n in fig.series.items():
+            ck = [per_n[n]["Ckpt_NE"] for n in (4, 8, 16)]
+            assert ck[0] < ck[-1], wl
+            for n in per_n:
+                assert per_n[n]["ReCkpt_NE"] <= per_n[n]["Ckpt_NE"] + 1e-9
+
+
+class TestScalability:
+    def test_two_scales(self):
+        fig = scalability(
+            core_counts=(2, 4),
+            region_scale=0.1,
+            reps=12,
+            workloads=("bt",),
+        )
+        assert set(fig.series) == {2, 4}
+        for cores, per_wl in fig.series.items():
+            assert per_wl["bt"]["Ckpt_NE"] > 0
+        # The AVG row is present for each core count.
+        avg_rows = [r for r in fig.rows if r[1] == "AVG"]
+        assert len(avg_rows) == 2

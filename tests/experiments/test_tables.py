@@ -1,0 +1,38 @@
+"""Tests for repro.experiments.tables_ (paper reference data integrity)."""
+
+import pytest
+
+from repro.experiments.tables_ import PAPER_TABLE2, table1_configuration
+from repro.workloads.registry import all_workload_names
+
+
+class TestPaperTable2:
+    def test_rows_are_percentages(self):
+        for wl, row in PAPER_TABLE2.items():
+            assert len(row) == 5
+            assert all(0.0 <= v <= 100.0 for v in row)
+
+    def test_rows_nearly_monotone(self):
+        # The paper's own data is monotone up to one reporting wiggle
+        # (mg: 90.34 -> 90.22 at threshold 50).
+        for wl, row in PAPER_TABLE2.items():
+            for a, b in zip(row, row[1:]):
+                assert b >= a - 0.2, wl
+
+    def test_benchmarks_subset_of_suite(self):
+        # dc has no Table II row in the paper; all others do.
+        names = set(all_workload_names())
+        assert set(PAPER_TABLE2) == names - {"dc"}
+
+    def test_known_anchor_values(self):
+        assert PAPER_TABLE2["bt"][0] == 36.54
+        assert PAPER_TABLE2["is"][0] == 97.39
+        assert PAPER_TABLE2["cg"][1] == 67.06
+
+
+class TestTable1:
+    def test_custom_machine(self):
+        from repro.arch.config import MachineConfig
+
+        text = table1_configuration(MachineConfig(num_cores=16))
+        assert "16" in text

@@ -1,0 +1,95 @@
+"""Tests for repro.isa.builder (KernelBuilder and chain_kernel)."""
+
+import pytest
+
+from repro.isa.builder import KernelBuilder, chain_kernel
+from repro.isa.instructions import (
+    AddressPattern,
+    AluInstr,
+    LoadInstr,
+    MoviInstr,
+    StoreInstr,
+)
+from repro.isa.opcodes import Opcode
+
+STORE = AddressPattern(0, 1, 16)
+INPUT = AddressPattern(4096, 1, 16)
+
+
+class TestKernelBuilder:
+    def test_register_allocation_monotonic(self):
+        b = KernelBuilder("k")
+        regs = [b.movi(i) for i in range(5)]
+        assert regs == [0, 1, 2, 3, 4]
+
+    def test_alu_into_reuses_register(self):
+        b = KernelBuilder("k")
+        a = b.movi(1)
+        b.alu_into(Opcode.ADD, a, a, a)
+        k_body = b._body
+        assert isinstance(k_body[-1], AluInstr)
+        assert k_body[-1].dst == a
+
+
+class TestChainKernel:
+    def test_depth_controls_alu_count(self):
+        for depth in (1, 5, 20):
+            k = chain_kernel("k", STORE, [INPUT], depth, 4)
+            n_alu = sum(1 for i in k.body if isinstance(i, AluInstr))
+            assert n_alu == depth
+
+    def test_has_single_store(self):
+        k = chain_kernel("k", STORE, [INPUT], 3, 4)
+        assert sum(1 for i in k.body if isinstance(i, StoreInstr)) == 1
+
+    def test_salt_movi_present_when_depth_positive(self):
+        k = chain_kernel("k", STORE, [INPUT], 3, 4)
+        assert any(isinstance(i, MoviInstr) for i in k.body)
+
+    def test_copy_store_body(self):
+        k = chain_kernel("k", STORE, [INPUT], 0, 4, copy_store=True)
+        kinds = [type(i) for i in k.body]
+        assert kinds == [LoadInstr, StoreInstr]
+
+    def test_copy_store_requires_input(self):
+        with pytest.raises(ValueError):
+            chain_kernel("k", STORE, [], 0, 4, copy_store=True)
+
+    def test_accumulate_and_copy_exclusive(self):
+        with pytest.raises(ValueError):
+            chain_kernel("k", STORE, [INPUT], 1, 4, accumulate=True, copy_store=True)
+
+    def test_no_inputs_pure_immediate_chain(self):
+        k = chain_kernel("k", STORE, [], 4, 4, salt=9)
+        assert not any(isinstance(i, LoadInstr) for i in k.body)
+        assert any(isinstance(i, StoreInstr) for i in k.body)
+
+    def test_extra_stores(self):
+        extra = AddressPattern(8192, 1, 16)
+        k = chain_kernel("k", STORE, [INPUT], 2, 4, extra_stores=[extra])
+        stores = [i for i in k.body if isinstance(i, StoreInstr)]
+        assert len(stores) == 2
+        assert stores[1].pattern.base == 8192
+
+    def test_multiple_inputs_used(self):
+        inputs = [INPUT, AddressPattern(8192, 1, 16)]
+        k = chain_kernel("k", STORE, inputs, 6, 4)
+        loads = [i for i in k.body if isinstance(i, LoadInstr)]
+        assert len(loads) == 2
+
+    def test_ghost_alu_passthrough(self):
+        k = chain_kernel("k", STORE, [INPUT], 2, 4, ghost_alu=33)
+        assert k.ghost_alu == 33
+
+    def test_different_salts_different_values(self):
+        from repro.isa.interpreter import Interpreter, MemoryImage
+        from repro.isa.program import Program
+
+        values = []
+        for salt in (1, 2):
+            mem = MemoryImage(0)
+            p = Program([chain_kernel("k", STORE, [INPUT], 3, 1, salt=salt)])
+            got = []
+            Interpreter(p, mem, on_store=lambda e: got.append(e.new_value)).run_to_completion()
+            values.append(got[0])
+        assert values[0] != values[1]

@@ -1,0 +1,83 @@
+"""Tests for repro.isa.instructions (address patterns in particular)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import (
+    AddressPattern,
+    LINE_BYTES,
+    StoreInstr,
+    WORD_BYTES,
+    WORDS_PER_LINE,
+)
+
+
+class TestConstants:
+    def test_line_geometry(self):
+        assert LINE_BYTES == 64
+        assert WORD_BYTES == 8
+        assert WORDS_PER_LINE == 8
+
+
+class TestAddressPattern:
+    def test_dense_walk(self):
+        p = AddressPattern(0, 1, 4)
+        assert [p.address(i) for i in range(6)] == [0, 8, 16, 24, 0, 8]
+
+    def test_offset(self):
+        p = AddressPattern(0, 1, 4, offset=2)
+        assert p.address(0) == 16
+        assert p.address(2) == 0  # wraps
+
+    def test_sparse_stride(self):
+        p = AddressPattern(0, 8, 32)
+        # One word per 64-byte line.
+        assert [p.address(i) for i in range(4)] == [0, 64, 128, 192]
+        assert p.address(4) == 0
+
+    def test_zero_stride(self):
+        p = AddressPattern(64, 0, 16)
+        assert p.address(0) == p.address(99) == 64
+
+    def test_footprint_words(self):
+        assert AddressPattern(0, 1, 16).footprint_words(8) == 8
+        assert AddressPattern(0, 1, 16).footprint_words(100) == 16
+        assert AddressPattern(0, 0, 16).footprint_words(100) == 1
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            AddressPattern(3, 1, 4)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            AddressPattern(-8, 1, 4)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            AddressPattern(0, 1, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 20).map(lambda w: w * 8),
+        st.integers(min_value=0, max_value=16),
+        st.integers(min_value=1, max_value=256),
+        st.integers(min_value=0, max_value=64),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_addresses_word_aligned_and_bounded(self, base, stride, length, offset, i):
+        p = AddressPattern(base, stride, length, offset)
+        a = p.address(i)
+        assert a % WORD_BYTES == 0
+        assert base <= a < base + length * WORD_BYTES
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_dense_pattern_covers_region_exactly_once(self, length):
+        p = AddressPattern(0, 1, length)
+        seen = {p.address(i) for i in range(length)}
+        assert len(seen) == length
+
+
+class TestStoreInstr:
+    def test_defaults(self):
+        s = StoreInstr(0, AddressPattern(0, 1, 4))
+        assert s.site == -1
+        assert s.assoc is False

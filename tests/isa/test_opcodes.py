@@ -1,0 +1,64 @@
+"""Tests for repro.isa.opcodes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.opcodes import ALU_OPCODES, MASK64, Opcode, apply_alu
+
+U64 = st.integers(min_value=0, max_value=MASK64)
+
+
+class TestApplyAlu:
+    def test_add_wraps(self):
+        assert apply_alu(Opcode.ADD, MASK64, 1) == 0
+
+    def test_sub_wraps(self):
+        assert apply_alu(Opcode.SUB, 0, 1) == MASK64
+
+    def test_mul(self):
+        assert apply_alu(Opcode.MUL, 3, 5) == 15
+
+    def test_mul_wraps(self):
+        assert apply_alu(Opcode.MUL, 1 << 63, 2) == 0
+
+    def test_bitwise(self):
+        assert apply_alu(Opcode.AND, 0b1100, 0b1010) == 0b1000
+        assert apply_alu(Opcode.OR, 0b1100, 0b1010) == 0b1110
+        assert apply_alu(Opcode.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_shift_masks_amount(self):
+        assert apply_alu(Opcode.SHL, 1, 64) == 1  # 64 & 63 == 0
+        assert apply_alu(Opcode.SHR, 8, 3) == 1
+
+    def test_shl_wraps(self):
+        assert apply_alu(Opcode.SHL, 1, 63) == 1 << 63
+        assert apply_alu(Opcode.SHL, 2, 63) == 0
+
+    def test_non_alu_rejected(self):
+        with pytest.raises(ValueError):
+            apply_alu(Opcode.LOAD, 1, 2)
+        with pytest.raises(ValueError):
+            apply_alu(Opcode.MOVI, 1, 2)
+
+    @given(U64, U64, st.sampled_from(sorted(ALU_OPCODES, key=lambda o: o.value)))
+    def test_results_stay_in_64_bits(self, a, b, op):
+        assert 0 <= apply_alu(op, a, b) <= MASK64
+
+    @given(U64, U64)
+    def test_xor_involution(self, a, b):
+        assert apply_alu(Opcode.XOR, apply_alu(Opcode.XOR, a, b), b) == a
+
+    @given(U64, U64)
+    def test_add_sub_inverse(self, a, b):
+        assert apply_alu(Opcode.SUB, apply_alu(Opcode.ADD, a, b), b) == a
+
+
+class TestOpcodeSets:
+    def test_alu_opcode_set(self):
+        assert Opcode.ADD in ALU_OPCODES
+        assert Opcode.LOAD not in ALU_OPCODES
+        assert Opcode.STORE not in ALU_OPCODES
+        assert Opcode.MOVI not in ALU_OPCODES
+
+    def test_eight_binary_ops(self):
+        assert len(ALU_OPCODES) == 8

@@ -1,0 +1,146 @@
+"""Property-based simulator invariants.
+
+Hypothesis drives small randomized workloads through the full stack and
+checks the invariants that must hold for *any* program: clock and energy
+sanity, conservation between the ACR and baseline variants, and the
+accounting identities the paper's equations rest on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import MachineConfig
+from repro.compiler.policy import ThresholdPolicy
+from repro.errors.injection import UniformErrors
+from repro.sim.simulator import SimulationOptions, Simulator
+from repro.workloads.spec import BurstSpec, SliceLenBucket, WorkloadSpec
+
+
+@st.composite
+def workload_specs(draw):
+    """Small but structurally diverse workload specs."""
+    w1 = draw(st.floats(min_value=0.1, max_value=0.6))
+    w2 = draw(st.floats(min_value=0.1, max_value=min(0.8 - w1, 0.5)))
+    copy = draw(st.floats(min_value=0.0, max_value=0.1))
+    accum = draw(st.floats(min_value=0.0, max_value=0.1))
+    bursts = ()
+    if draw(st.booleans()):
+        bursts = (
+            BurstSpec(
+                draw(st.floats(min_value=0.2, max_value=0.8)),
+                draw(st.floats(min_value=0.5, max_value=2.0)),
+                draw(st.sampled_from(["copy", "chain", "widen"])),
+                passes=draw(st.integers(min_value=1, max_value=3)),
+            ),
+        )
+    return WorkloadSpec(
+        name="prop",
+        region_words=draw(st.integers(min_value=24, max_value=48)),
+        reps=draw(st.integers(min_value=8, max_value=16)),
+        sites=draw(st.integers(min_value=4, max_value=8)),
+        ghost_alu=draw(st.integers(min_value=0, max_value=30)),
+        len_mix=(
+            SliceLenBucket(w1, 2, 10),
+            SliceLenBucket(w2, 11, 25),
+        ),
+        copy_frac=copy,
+        accum_frac=accum,
+        sparse_frac=draw(st.floats(min_value=0.0, max_value=1.0)),
+        cluster_size=draw(st.sampled_from([0, 1, 2])),
+        bursts=bursts,
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+    )
+
+
+def run_trio(spec, num_checkpoints=5, errors=None):
+    cfg = MachineConfig(num_cores=2)
+    programs = spec.build_programs(2)
+    sim = Simulator(programs, cfg)
+    base = sim.run_baseline()
+    prof = base.baseline_profile()
+    common = dict(
+        num_checkpoints=num_checkpoints,
+        baseline=prof,
+    )
+    if errors:
+        common["errors"] = errors
+    ck = sim.run(SimulationOptions(label="ck", scheme="global", **common))
+    re = sim.run(
+        SimulationOptions(
+            label="re",
+            scheme="global",
+            acr=True,
+            slice_policy=ThresholdPolicy(10),
+            **common,
+        )
+    )
+    return base, ck, re
+
+
+class TestSimulationInvariants:
+    @given(workload_specs())
+    @settings(max_examples=12, deadline=None)
+    def test_clock_and_energy_sanity(self, spec):
+        base, ck, re = run_trio(spec)
+        for run in (base, ck, re):
+            assert run.wall_ns >= run.useful_ns - 1e-6
+            assert run.energy_pj > 0
+            assert all(o >= -1e-6 for o in run.per_core_overhead_ns)
+        # Checkpointing can only add time and energy.
+        assert ck.wall_ns >= base.wall_ns
+        assert ck.energy_pj >= base.energy_pj
+
+    @given(workload_specs())
+    @settings(max_examples=12, deadline=None)
+    def test_acr_conservation(self, spec):
+        _, ck, re = run_trio(spec)
+        # ACR's logged + omitted data equals the baseline's logged data:
+        # omission relabels records, it never invents or loses them.
+        assert (
+            re.total_baseline_checkpoint_bytes == ck.total_checkpoint_bytes
+        )
+        # ACR never logs more than the baseline.
+        assert re.total_checkpoint_bytes <= ck.total_checkpoint_bytes
+        # Omission counting is consistent: interval stats plus the open
+        # (post-final-boundary drain) log cover every omission.
+        trailing = len(re.checkpoint_store.current_log.omitted)
+        assert re.omissions == (
+            sum(iv.omitted_records for iv in re.intervals) + trailing
+        )
+        assert re.omissions <= re.omission_lookups
+
+    @given(workload_specs())
+    @settings(max_examples=8, deadline=None)
+    def test_recomputation_ground_truth(self, spec):
+        from repro.ckpt.recovery import RecoveryEngine
+
+        _, _, re = run_trio(spec)
+        store = re.checkpoint_store
+        retained = [c.log for c in store.checkpoints[-2:]] + [store.current_log]
+        assert RecoveryEngine.verify_recomputation(retained) == []
+
+    @given(workload_specs(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=8, deadline=None)
+    def test_errors_monotone(self, spec, n_errors):
+        base, ck, re = run_trio(spec, errors=UniformErrors(n_errors))
+        assert ck.recovery_count == n_errors
+        assert re.recovery_count == n_errors
+        # Every recovery rolled back to an established (or initial) state.
+        for run in (ck, re):
+            for rec in run.recoveries:
+                assert -1 <= rec.safe_checkpoint < run.checkpoint_count
+                assert rec.waste_ns >= 0
+                assert rec.rollback_ns >= 0
+        # Baseline never recomputes; ACR recoveries recompute iff values
+        # were omitted before the detection point.
+        assert all(r.recomputed_values == 0 for r in ck.recoveries)
+
+    @given(workload_specs())
+    @settings(max_examples=8, deadline=None)
+    def test_determinism(self, spec):
+        a = run_trio(spec)[2]
+        b = run_trio(spec)[2]
+        assert a.wall_ns == b.wall_ns
+        assert a.energy_pj == b.energy_pj
+        assert a.total_checkpoint_bytes == b.total_checkpoint_bytes
+        assert a.omissions == b.omissions

@@ -1,0 +1,85 @@
+"""Local-scheme recovery semantics: only the communicating cluster pays.
+
+Under coordinated local checkpointing, recovery is confined to the
+erroneous core's communication cluster — other cores neither roll back
+nor wait (paper §V-E: "they don't need to roll back farther ... to match
+a global recovery line").
+"""
+
+import pytest
+
+from repro.errors.injection import UniformErrors
+from repro.sim.simulator import SimulationOptions, Simulator
+from repro.workloads.spec import SliceLenBucket, WorkloadSpec
+
+from tests.conftest import tiny_machine
+
+
+@pytest.fixture(scope="module")
+def clustered_runs():
+    """4 cores in 2 clusters of 2; one mid-run error striking core 0."""
+    spec = WorkloadSpec(
+        name="pairs",
+        region_words=64,
+        reps=24,
+        sites=8,
+        ghost_alu=10,
+        len_mix=(SliceLenBucket(0.8, 2, 8),),
+        copy_frac=0.05,
+        accum_frac=0.05,
+        cluster_size=2,
+        seed=7,
+    )
+    programs = spec.build_programs(4)
+    sim = Simulator(programs, tiny_machine(4))
+    base = sim.run_baseline()
+    local = sim.run(
+        SimulationOptions(
+            label="loc",
+            scheme="local",
+            num_checkpoints=6,
+            baseline=base.baseline_profile(),
+            errors=UniformErrors(1),
+        )
+    )
+    glob = sim.run(
+        SimulationOptions(
+            label="glob",
+            scheme="global",
+            num_checkpoints=6,
+            baseline=base.baseline_profile(),
+            errors=UniformErrors(1),
+        )
+    )
+    return base, local, glob
+
+
+class TestLocalRecovery:
+    def test_clusters_observed(self, clustered_runs):
+        _, local, _ = clustered_runs
+        # Two pairs of communicating cores.
+        assert all(iv.clusters == 2 for iv in local.intervals)
+
+    def test_recovery_confined_to_cluster(self, clustered_runs):
+        _, local, glob = clustered_runs
+        assert local.recoveries[0].participants == 2
+        assert glob.recoveries[0].participants == 4
+
+    def test_non_participants_pay_less_overhead(self, clustered_runs):
+        _, local, _ = clustered_runs
+        # Error 0 strikes core 0 -> cluster {0, 1} pays the recovery;
+        # cores 2 and 3 only pay checkpointing.
+        inside = max(local.per_core_overhead_ns[0:2])
+        outside = max(local.per_core_overhead_ns[2:4])
+        assert outside < inside
+
+    def test_local_restores_fewer_records(self, clustered_runs):
+        _, local, glob = clustered_runs
+        assert (
+            local.recoveries[0].restored_records
+            < glob.recoveries[0].restored_records
+        )
+
+    def test_local_recovery_cheaper_overall(self, clustered_runs):
+        _, local, glob = clustered_runs
+        assert local.recovery_time_ns < glob.recovery_time_ns

@@ -1,0 +1,37 @@
+"""Tests for repro.sim.machine."""
+
+import pytest
+
+from repro.arch.config import MachineConfig
+from repro.sim.machine import Machine
+
+
+class TestMachine:
+    def test_component_counts(self):
+        m = Machine(MachineConfig(num_cores=8))
+        assert len(m.hierarchies) == 8
+        assert len(m.memsys.controllers) == 2
+        assert m.directory.num_cores == 8
+
+    def test_aggregate_stats_start_at_zero(self):
+        m = Machine(MachineConfig(num_cores=2))
+        assert m.l1d_accesses() == 0
+        assert m.l2_accesses() == 0
+        assert m.memory_accesses() == 0
+        assert m.writebacks() == 0
+
+    def test_aggregates_sum_cores(self):
+        m = Machine(MachineConfig(num_cores=2))
+        m.hierarchies[0].access(0, True)
+        m.hierarchies[1].access(64, False)
+        assert m.l1d_accesses() == 2
+        assert m.memory_accesses() == 2  # both cold misses
+
+    def test_memory_seed_changes_image(self):
+        a = Machine(MachineConfig(num_cores=1), memory_seed=1)
+        b = Machine(MachineConfig(num_cores=1), memory_seed=2)
+        assert a.memory.read(64) != b.memory.read(64)
+
+    def test_default_energy_model(self):
+        m = Machine(MachineConfig(num_cores=1))
+        assert m.energy_model.alu_op_pj > 0

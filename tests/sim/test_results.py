@@ -1,0 +1,138 @@
+"""Tests for repro.sim.results (derived metrics and stats containers)."""
+
+import pytest
+
+from repro.energy.accounting import EnergyLedger
+from repro.sim.results import (
+    BaselineProfile,
+    IntervalStats,
+    RecoveryStats,
+    RunResult,
+    energy_overhead,
+    time_overhead,
+)
+
+
+def make_result(wall=200.0, useful=(100.0, 90.0), energy_pj=1000.0, **kw):
+    ledger = EnergyLedger()
+    ledger.add("core.alu", energy_pj)
+    defaults = dict(
+        label="r",
+        scheme="global",
+        acr=False,
+        num_cores=len(useful),
+        wall_ns=wall,
+        per_core_useful_ns=list(useful),
+        per_core_overhead_ns=[wall - u for u in useful],
+        energy=ledger,
+        intervals=[],
+        recoveries=[],
+        instructions=10,
+        alu_ops=5,
+        loads=3,
+        stores=2,
+        assoc_ops=0,
+        l1d_accesses=5,
+        l2_accesses=1,
+        memory_accesses=1,
+        writebacks=0,
+        compile_stats=None,
+        addrmap_records=0,
+        addrmap_rejections=0,
+        omissions=0,
+        omission_lookups=0,
+    )
+    defaults.update(kw)
+    return RunResult(**defaults)
+
+
+def interval(idx, logged, omitted):
+    return IntervalStats(
+        index=idx,
+        useful_ns=100.0 * (idx + 1),
+        logged_records=logged,
+        omitted_records=omitted,
+        logged_bytes=logged * 16,
+        omitted_bytes=omitted * 16,
+        flushed_bytes=0,
+        boundary_ns=10.0,
+        clusters=1,
+    )
+
+
+class TestRunResult:
+    def test_useful_is_max_core(self):
+        r = make_result(useful=(100.0, 90.0))
+        assert r.useful_ns == 100.0
+        assert r.overhead_ns == pytest.approx(100.0)
+
+    def test_checkpoint_aggregates(self):
+        r = make_result(intervals=[interval(0, 10, 0), interval(1, 4, 6)])
+        assert r.checkpoint_count == 2
+        assert r.total_checkpoint_bytes == 14 * 16
+        assert r.total_baseline_checkpoint_bytes == 20 * 16
+        assert r.max_checkpoint_bytes == 10 * 16
+        assert r.checkpoint_time_ns == pytest.approx(20.0)
+
+    def test_empty_interval_stats(self):
+        r = make_result()
+        assert r.max_checkpoint_bytes == 0
+        assert r.total_checkpoint_bytes == 0
+
+    def test_recovery_aggregates(self):
+        rec = RecoveryStats(
+            error_index=0,
+            occurred_useful_ns=10.0,
+            detected_useful_ns=12.0,
+            safe_checkpoint=0,
+            skipped_corrupted=False,
+            participants=2,
+            waste_ns=5.0,
+            rollback_ns=3.0,
+            recompute_ns=2.0,
+            restored_records=4,
+            recomputed_values=1,
+            recompute_instructions=5,
+        )
+        r = make_result(recoveries=[rec])
+        assert r.recovery_count == 1
+        assert r.recovery_time_ns == pytest.approx(10.0)
+        assert rec.total_ns == pytest.approx(10.0)
+
+    def test_baseline_profile_roundtrip(self):
+        r = make_result(useful=(70.0, 80.0))
+        prof = r.baseline_profile()
+        assert isinstance(prof, BaselineProfile)
+        assert prof.useful_ns == 80.0
+        assert prof.per_core_useful_ns == [70.0, 80.0]
+
+
+class TestIntervalStats:
+    def test_reduction(self):
+        iv = interval(0, 3, 1)
+        assert iv.baseline_bytes == 64
+        assert iv.reduction == pytest.approx(0.25)
+
+    def test_reduction_empty_interval(self):
+        assert interval(0, 0, 0).reduction == 0.0
+
+
+class TestOverheadFunctions:
+    def test_time_overhead(self):
+        base = make_result(wall=100.0, useful=(100.0, 100.0))
+        run = make_result(wall=130.0, useful=(100.0, 100.0))
+        assert time_overhead(run, base) == pytest.approx(0.30)
+
+    def test_energy_overhead(self):
+        base = make_result(energy_pj=1000.0)
+        run = make_result(energy_pj=1200.0)
+        assert energy_overhead(run, base) == pytest.approx(0.20)
+
+    def test_zero_baseline_rejected(self):
+        bad = make_result(wall=0.0, useful=(0.0001, 0.0001))
+        bad2 = make_result(energy_pj=0.0)
+        ok = make_result()
+        with pytest.raises(ValueError):
+            time_overhead(ok, bad)
+        with pytest.raises(ValueError):
+            energy_overhead(ok, bad2)

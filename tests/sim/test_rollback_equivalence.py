@@ -1,0 +1,218 @@
+"""Functional rollback equivalence.
+
+This is the core correctness property of the whole reproduction: rolling
+back via the interval logs — with ACR's omitted values *recomputed* from
+their Slices and operand snapshots, never read from anywhere — must
+restore memory to the exact state captured at the safe checkpoint.
+
+A miniature checkpointing harness drives the real components (interpreter,
+compiler pass, AddrMap handler, checkpoint store, recovery engine) and
+snapshots memory at every checkpoint for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.acr.handlers import AcrCheckpointHandler
+from repro.arch.config import MachineConfig
+from repro.arch.directory import Directory
+from repro.arch.memctrl import MemorySystem
+from repro.ckpt.checkpoint import CheckpointStore
+from repro.ckpt.recovery import RecoveryEngine
+from repro.compiler.embed import compile_program
+from repro.compiler.policy import ThresholdPolicy
+from repro.energy.model import EnergyModel
+from repro.isa.builder import chain_kernel
+from repro.isa.instructions import AddressPattern
+from repro.isa.interpreter import Interpreter, MemoryImage
+from repro.isa.program import Program
+
+
+class MiniCkptHarness:
+    """Drives real components through checkpoint intervals."""
+
+    def __init__(self, acr: bool, threshold: int = 10, threads: int = 2):
+        self.config = MachineConfig(num_cores=threads)
+        kernels_per_thread = []
+        for t in range(threads):
+            base = (t + 1) << 24
+            kernels = []
+            for rep in range(9):
+                kernels.append(
+                    chain_kernel(
+                        f"chain.r{rep}",
+                        AddressPattern(base, 1, 32),
+                        [AddressPattern(base + (1 << 20), 1, 32, offset=rep)],
+                        chain_depth=4,
+                        trip_count=32,
+                        salt=t * 31 + rep,
+                    )
+                )
+                kernels.append(
+                    chain_kernel(
+                        f"copy.r{rep}",
+                        AddressPattern(base + (1 << 16), 1, 16),
+                        [AddressPattern(base + (1 << 21), 1, 16, offset=rep)],
+                        0,
+                        16,
+                        copy_store=True,
+                    )
+                )
+            kernels_per_thread.append(kernels)
+
+        programs = [Program(ks, t) for t, ks in enumerate(kernels_per_thread)]
+        if acr:
+            compiled = [
+                compile_program(p, ThresholdPolicy(threshold)) for p in programs
+            ]
+            self.programs = [c.program for c in compiled]
+            self.handler = AcrCheckpointHandler(
+                self.config, [c.slices for c in compiled]
+            )
+        else:
+            self.programs = programs
+            self.handler = None
+
+        self.memory = MemoryImage(seed=5)
+        self.directory = Directory(threads)
+        self.store = CheckpointStore(self.config.arch_state_bytes, threads)
+        self.engine = RecoveryEngine(
+            self.config, MemorySystem(self.config), EnergyModel()
+        )
+        self.interpreters = [
+            Interpreter(p, self.memory, on_store=self._on_store)
+            for p in self.programs
+        ]
+        self.snapshots: List[Dict[int, int]] = []
+
+    def _on_store(self, ev) -> None:
+        if not self.directory.test_and_set_log(ev.address):
+            entry = (
+                self.handler.may_omit(ev.thread, ev.address)
+                if self.handler
+                else None
+            )
+            if entry is not None:
+                self.store.current_log.add_omitted(
+                    ev.address, entry, ev.thread, ev.old_value
+                )
+            else:
+                self.store.current_log.add_record(
+                    ev.address, ev.old_value, ev.thread
+                )
+        if self.handler:
+            self.handler.on_store(ev.thread, ev.site, ev.address, ev.regs)
+
+    def run_kernels(self, count: int) -> None:
+        """Every thread executes exactly ``count`` kernels."""
+        for it in self.interpreters:
+            for _ in range(count):
+                if it.done:
+                    break
+                kernel_index, iteration = it.position
+                remaining = (
+                    it.program.kernels[kernel_index].trip_count - iteration
+                )
+                it.step_iterations(remaining)
+
+    def checkpoint(self) -> None:
+        self.snapshots.append(self.memory.snapshot())
+        self.store.establish(float(self.store.count + 1), float(self.store.count + 1))
+        self.directory.clear_log_bits()
+        if self.handler:
+            self.handler.on_checkpoint()
+
+    def rollback_to(self, safe_index: int) -> None:
+        logs = self.store.logs_to_rollback(safe_index)
+        self.engine.apply_rollback(self.memory, logs)
+
+
+@pytest.mark.parametrize("acr", [False, True], ids=["baseline", "acr"])
+class TestRollbackEquivalence:
+    def test_rollback_to_most_recent(self, acr):
+        h = MiniCkptHarness(acr)
+        for _ in range(3):
+            h.run_kernels(4)
+            h.checkpoint()
+        h.run_kernels(3)  # partial interval
+        h.rollback_to(safe_index=2)
+        assert h.memory.snapshot() == h.snapshots[2]
+
+    def test_rollback_two_back_fig2(self, acr):
+        h = MiniCkptHarness(acr)
+        for _ in range(4):
+            h.run_kernels(4)
+            h.checkpoint()
+        h.run_kernels(2)
+        # Fig. 2: the most recent checkpoint (index 3) is suspect.
+        h.rollback_to(safe_index=2)
+        assert h.memory.snapshot() == h.snapshots[2]
+
+    def test_rollback_at_exact_boundary(self, acr):
+        h = MiniCkptHarness(acr)
+        for _ in range(3):
+            h.run_kernels(4)
+            h.checkpoint()
+        # No partial work: roll back across one full interval.
+        h.rollback_to(safe_index=1)
+        assert h.memory.snapshot() == h.snapshots[1]
+
+    def test_replay_after_rollback_reconverges(self, acr):
+        """Deterministic re-execution from the restored state reproduces
+        the original final memory (the property the simulator exploits to
+        avoid functional re-execution)."""
+        ref = MiniCkptHarness(acr)
+        for _ in range(3):
+            ref.run_kernels(6)
+        final = ref.memory.snapshot()
+
+        h = MiniCkptHarness(acr)
+        h.run_kernels(6)
+        h.checkpoint()
+        h.run_kernels(4)
+        positions = [it.position for it in h.interpreters]
+        h.rollback_to(safe_index=0)
+        assert h.memory.snapshot() == h.snapshots[0]
+        # "Replay": rewind interpreters by rebuilding them at the ckpt
+        # position. Interpreters cannot rewind, so rebuild from scratch
+        # and fast-forward to the checkpoint position, then run all.
+        h2 = MiniCkptHarness(acr)
+        h2.memory.restore(h.memory.snapshot())
+        for it in h2.interpreters:
+            while not it.done and it.position < (6, 0):
+                it.step_iterations(10_000)
+        for it in h2.interpreters:
+            while not it.done:
+                it.step_iterations(10_000)
+        assert h2.memory.snapshot() == final
+
+
+class TestAcrActuallyOmits:
+    def test_omissions_present_and_verified(self):
+        h = MiniCkptHarness(acr=True)
+        for _ in range(3):
+            h.run_kernels(4)
+            h.checkpoint()
+        h.run_kernels(2)
+        logs = h.store.logs_to_rollback(1)
+        omitted = sum(len(l.omitted) for l in logs)
+        assert omitted > 0
+        assert RecoveryEngine.verify_recomputation(logs) == []
+
+    def test_acr_logs_fewer_records_than_baseline(self):
+        hb = MiniCkptHarness(acr=False)
+        ha = MiniCkptHarness(acr=True)
+        for h in (hb, ha):
+            for _ in range(3):
+                h.run_kernels(4)
+                h.checkpoint()
+        base_records = sum(c.data_bytes for c in hb.store.checkpoints)
+        acr_records = sum(c.data_bytes for c in ha.store.checkpoints)
+        assert acr_records < base_records
+        # ... but identical baseline-equivalent content.
+        assert sum(
+            c.data_bytes + c.omitted_bytes for c in ha.store.checkpoints
+        ) == base_records

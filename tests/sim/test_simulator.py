@@ -1,0 +1,258 @@
+"""Tests for repro.sim.simulator: options, clocks, checkpointing, errors."""
+
+import pytest
+
+from repro.compiler.policy import ThresholdPolicy
+from repro.errors.injection import UniformErrors
+from repro.sim.results import energy_overhead, time_overhead
+from repro.sim.simulator import SimulationOptions, Simulator
+
+from tests.conftest import tiny_machine, tiny_programs
+
+
+class TestOptionsValidation:
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            SimulationOptions(scheme="magic")
+
+    def test_ckpt_needs_baseline(self):
+        with pytest.raises(ValueError, match="baseline"):
+            SimulationOptions(scheme="global")
+
+    def test_acr_needs_scheme(self):
+        with pytest.raises(ValueError, match="scheme"):
+            SimulationOptions(scheme="none", acr=True)
+
+    def test_program_count_must_match_cores(self):
+        with pytest.raises(ValueError):
+            Simulator(tiny_programs(2), tiny_machine(4))
+
+
+class TestBaselineRun(object):
+    def test_no_checkpoints_no_overhead(self, small_baseline):
+        assert small_baseline.checkpoint_count == 0
+        assert small_baseline.recovery_count == 0
+        assert small_baseline.overhead_ns == pytest.approx(0.0, abs=1e-6)
+        assert small_baseline.wall_ns == pytest.approx(small_baseline.useful_ns)
+
+    def test_counts_positive(self, small_baseline):
+        assert small_baseline.instructions > 0
+        assert small_baseline.loads > 0
+        assert small_baseline.stores > 0
+        assert small_baseline.l1d_accesses == (
+            small_baseline.loads + small_baseline.stores
+        )
+
+    def test_energy_buckets(self, small_baseline):
+        for bucket in ("core.alu", "core.ifetch", "mem.l1d", "static.leakage"):
+            assert small_baseline.energy.get(bucket) > 0
+        assert small_baseline.energy.get("ckpt.log") == 0.0
+
+    def test_deterministic(self, small_config):
+        a = Simulator(tiny_programs(4), small_config).run_baseline()
+        b = Simulator(tiny_programs(4), small_config).run_baseline()
+        assert a.wall_ns == b.wall_ns
+        assert a.energy_pj == b.energy_pj
+        assert a.instructions == b.instructions
+
+
+class TestCheckpointedRun:
+    def test_checkpoint_count(self, small_ckpt_run):
+        assert small_ckpt_run.checkpoint_count == 6
+
+    def test_overhead_positive(self, small_ckpt_run, small_baseline):
+        assert small_ckpt_run.wall_ns > small_baseline.wall_ns
+        assert time_overhead(small_ckpt_run, small_baseline) > 0
+        assert energy_overhead(small_ckpt_run, small_baseline) > 0
+
+    def test_useful_time_matches_baseline(self, small_ckpt_run, small_baseline):
+        # The useful clock is scheme-independent.
+        assert small_ckpt_run.useful_ns == pytest.approx(
+            small_baseline.useful_ns, rel=0.02
+        )
+
+    def test_logged_data_positive(self, small_ckpt_run):
+        assert small_ckpt_run.total_checkpoint_bytes > 0
+        assert all(iv.omitted_records == 0 for iv in small_ckpt_run.intervals)
+
+    def test_log_energy_charged(self, small_ckpt_run):
+        for bucket in ("ckpt.log", "ckpt.flush", "ckpt.arch", "ckpt.barrier"):
+            assert small_ckpt_run.energy.get(bucket) > 0
+
+    def test_first_writes_bounded_by_footprint(self, small_ckpt_run):
+        # Each thread writes a 64-word region; 4 threads -> <= 256 unique
+        # addresses per interval (plus nothing else).
+        for iv in small_ckpt_run.intervals:
+            assert iv.logged_records <= 4 * 64
+
+
+class TestAcrRun:
+    def test_omissions_happen(self, small_acr_run):
+        assert small_acr_run.omissions > 0
+        total_omitted = sum(iv.omitted_records for iv in small_acr_run.intervals)
+        assert total_omitted == small_acr_run.omissions
+
+    def test_checkpoint_data_reduced(self, small_acr_run, small_ckpt_run):
+        assert (
+            small_acr_run.total_checkpoint_bytes
+            < small_ckpt_run.total_checkpoint_bytes
+        )
+
+    def test_baseline_equivalent_matches_plain_run(
+        self, small_acr_run, small_ckpt_run
+    ):
+        # omitted + logged == what the non-ACR run logged.
+        assert (
+            small_acr_run.total_baseline_checkpoint_bytes
+            == small_ckpt_run.total_checkpoint_bytes
+        )
+
+    def test_first_interval_unreduced(self, small_acr_run):
+        # Interval 0's old values are initial memory: never recomputable.
+        assert small_acr_run.intervals[0].omitted_records == 0
+
+    def test_later_intervals_fully_reduced(self, small_acr_run):
+        # The tiny programs rewrite the same region every rep with chain
+        # stores: once warm (cold misses front-load the first interval or
+        # two), every first-write is omittable.
+        warm = small_acr_run.intervals[2:]
+        assert warm
+        for iv in warm:
+            assert iv.reduction > 0.9
+
+    def test_acr_cheaper_than_plain_checkpointing(
+        self, small_acr_run, small_ckpt_run, small_baseline
+    ):
+        assert time_overhead(small_acr_run, small_baseline) < time_overhead(
+            small_ckpt_run, small_baseline
+        )
+        assert energy_overhead(small_acr_run, small_baseline) < energy_overhead(
+            small_ckpt_run, small_baseline
+        )
+
+    def test_assoc_instructions_counted(self, small_acr_run):
+        assert small_acr_run.assoc_ops > 0
+        assert small_acr_run.energy.get("acr.assoc") > 0
+
+    def test_compile_stats_attached(self, small_acr_run):
+        assert small_acr_run.compile_stats is not None
+        assert small_acr_run.compile_stats.sites_embedded > 0
+
+    def test_recomputation_matches_ground_truth(self, small_acr_run):
+        from repro.ckpt.recovery import RecoveryEngine
+
+        store = small_acr_run.checkpoint_store
+        retained = [c.log for c in store.checkpoints[-2:]] + [store.current_log]
+        assert any(log.omitted for log in retained)
+        assert RecoveryEngine.verify_recomputation(retained) == []
+
+
+class TestErrorRuns:
+    @pytest.fixture(scope="class")
+    def error_run(self, small_simulator, small_baseline):
+        return small_simulator.run(
+            SimulationOptions(
+                label="Ckpt_E",
+                scheme="global",
+                num_checkpoints=6,
+                baseline=small_baseline.baseline_profile(),
+                errors=UniformErrors(1),
+            )
+        )
+
+    @pytest.fixture(scope="class")
+    def acr_error_run(self, small_simulator, small_baseline):
+        return small_simulator.run(
+            SimulationOptions(
+                label="ReCkpt_E",
+                scheme="global",
+                acr=True,
+                num_checkpoints=6,
+                baseline=small_baseline.baseline_profile(),
+                errors=UniformErrors(1),
+            )
+        )
+
+    def test_one_recovery(self, error_run):
+        assert error_run.recovery_count == 1
+        rec = error_run.recoveries[0]
+        assert rec.waste_ns > 0
+        assert rec.rollback_ns > 0
+        assert rec.recompute_ns == 0
+        assert rec.restored_records > 0
+
+    def test_recovery_costlier_than_error_free(
+        self, error_run, small_ckpt_run
+    ):
+        assert error_run.wall_ns > small_ckpt_run.wall_ns
+
+    def test_acr_recovery_recomputes(self, acr_error_run):
+        rec = acr_error_run.recoveries[0]
+        assert rec.recomputed_values > 0
+        assert rec.recompute_ns > 0
+        assert acr_error_run.energy.get("rec.recompute") > 0
+
+    def test_acr_restores_fewer_records(self, acr_error_run, error_run):
+        assert (
+            acr_error_run.recoveries[0].restored_records
+            < error_run.recoveries[0].restored_records
+        )
+
+    def test_acr_still_wins_with_errors(
+        self, acr_error_run, error_run, small_baseline
+    ):
+        assert time_overhead(acr_error_run, small_baseline) < time_overhead(
+            error_run, small_baseline
+        )
+
+    def test_more_errors_more_overhead(self, small_simulator, small_baseline):
+        prof = small_baseline.baseline_profile()
+        runs = [
+            small_simulator.run(
+                SimulationOptions(
+                    label=f"E{n}",
+                    scheme="global",
+                    num_checkpoints=6,
+                    baseline=prof,
+                    errors=UniformErrors(n),
+                )
+            )
+            for n in (1, 3, 5)
+        ]
+        walls = [r.wall_ns for r in runs]
+        assert walls == sorted(walls)
+        assert [r.recovery_count for r in runs] == [1, 3, 5]
+
+    def test_waste_energy_charged(self, error_run):
+        assert error_run.energy.get("rec.waste") > 0
+
+
+class TestLocalScheme:
+    def test_local_cheaper_when_no_communication(
+        self, small_simulator, small_baseline, small_ckpt_run
+    ):
+        # tiny_programs never share lines: every core is its own cluster.
+        run = small_simulator.run(
+            SimulationOptions(
+                label="Ckpt_NE_Loc",
+                scheme="local",
+                num_checkpoints=6,
+                baseline=small_baseline.baseline_profile(),
+            )
+        )
+        assert all(iv.clusters == 4 for iv in run.intervals)
+        assert run.wall_ns < small_ckpt_run.wall_ns
+
+    def test_local_recovery_confined_to_cluster(
+        self, small_simulator, small_baseline
+    ):
+        run = small_simulator.run(
+            SimulationOptions(
+                label="Ckpt_E_Loc",
+                scheme="local",
+                num_checkpoints=6,
+                baseline=small_baseline.baseline_profile(),
+                errors=UniformErrors(1),
+            )
+        )
+        assert run.recoveries[0].participants == 1

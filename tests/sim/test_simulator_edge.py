@@ -1,0 +1,139 @@
+"""Simulator edge cases: chunking, seeds, thresholds, local errors."""
+
+import pytest
+
+from repro.compiler.policy import ThresholdPolicy
+from repro.errors.injection import UniformErrors
+from repro.errors.model import ErrorModel
+from repro.sim.simulator import SimulationOptions, Simulator
+
+from tests.conftest import tiny_machine, tiny_programs
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return Simulator(tiny_programs(4), tiny_machine(4))
+
+
+@pytest.fixture(scope="module")
+def prof(sim):
+    return sim.run_baseline().baseline_profile()
+
+
+class TestChunking:
+    def test_chunk_size_does_not_change_results(self, sim, prof):
+        runs = [
+            sim.run(
+                SimulationOptions(
+                    label=f"chunk{c}",
+                    scheme="global",
+                    acr=True,
+                    num_checkpoints=6,
+                    baseline=prof,
+                    chunk_iterations=c,
+                )
+            )
+            for c in (16, 64, 256)
+        ]
+        # The executed work is identical; boundary placement shifts by at
+        # most one chunk, so aggregate quantities stay close but are not
+        # bit-identical (a coarser chunk overshoots boundaries further).
+        assert len({r.stores for r in runs}) == 1
+        assert len({r.instructions for r in runs}) == 1
+        walls = [r.wall_ns for r in runs]
+        assert max(walls) < min(walls) * 1.25
+        sizes = [r.total_checkpoint_bytes for r in runs]
+        assert max(sizes) <= min(sizes) * 3
+
+
+class TestMemorySeeds:
+    def test_seed_changes_logged_values_not_sizes(self, sim, prof):
+        a = sim.run(
+            SimulationOptions(
+                label="s1", scheme="global", num_checkpoints=6,
+                baseline=prof, memory_seed=1,
+            )
+        )
+        b = sim.run(
+            SimulationOptions(
+                label="s2", scheme="global", num_checkpoints=6,
+                baseline=prof, memory_seed=2,
+            )
+        )
+        assert a.total_checkpoint_bytes == b.total_checkpoint_bytes
+        ra = a.checkpoint_store.checkpoints[-1].log.records
+        rb = b.checkpoint_store.checkpoints[-1].log.records
+        if ra and rb:
+            assert [r.address for r in ra] == [r.address for r in rb]
+
+
+class TestThresholdEffect:
+    def test_zero_coverage_threshold_behaves_like_plain(self, sim, prof):
+        # tiny_programs chains have depth 4 => slice length 5; threshold 2
+        # embeds nothing, so the ACR run logs exactly like the baseline.
+        plain = sim.run(
+            SimulationOptions(
+                label="p", scheme="global", num_checkpoints=6, baseline=prof
+            )
+        )
+        acr0 = sim.run(
+            SimulationOptions(
+                label="a0", scheme="global", acr=True,
+                slice_policy=ThresholdPolicy(2),
+                num_checkpoints=6, baseline=prof,
+            )
+        )
+        assert acr0.omissions == 0
+        assert acr0.total_checkpoint_bytes == plain.total_checkpoint_bytes
+
+
+class TestDetectionLatency:
+    def test_zero_latency_never_skips_checkpoints(self, sim, prof):
+        run = sim.run(
+            SimulationOptions(
+                label="z", scheme="global", num_checkpoints=6,
+                baseline=prof, errors=UniformErrors(2),
+                error_model=ErrorModel(0.0),
+            )
+        )
+        assert all(not r.skipped_corrupted for r in run.recoveries)
+
+    def test_long_latency_can_skip_a_checkpoint(self, sim, prof):
+        run = sim.run(
+            SimulationOptions(
+                label="l", scheme="global", num_checkpoints=6,
+                baseline=prof, errors=UniformErrors(3),
+                error_model=ErrorModel(0.9),
+            )
+        )
+        # With latency == period, an error just before a boundary is
+        # detected after it: that checkpoint is suspect (Fig. 2).
+        assert any(r.skipped_corrupted for r in run.recoveries)
+
+    def test_skipping_rolls_back_further(self, sim, prof):
+        short = sim.run(
+            SimulationOptions(
+                label="s", scheme="global", num_checkpoints=6,
+                baseline=prof, errors=UniformErrors(1),
+                error_model=ErrorModel(0.0),
+            )
+        )
+        long = sim.run(
+            SimulationOptions(
+                label="g", scheme="global", num_checkpoints=6,
+                baseline=prof, errors=UniformErrors(1),
+                error_model=ErrorModel(0.9),
+            )
+        )
+        assert (
+            long.recoveries[0].safe_checkpoint
+            <= short.recoveries[0].safe_checkpoint
+        )
+        assert long.recoveries[0].waste_ns >= short.recoveries[0].waste_ns
+
+
+class TestSchemeNoneIgnoresErrors:
+    def test_baseline_run_has_no_recoveries(self, sim):
+        run = sim.run(SimulationOptions(label="b", scheme="none"))
+        assert run.recovery_count == 0
+        assert run.checkpoint_count == 0

@@ -1,0 +1,49 @@
+"""Tests for the CLI (small scales, captured output)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--scale", "0.1", "--cores", "2", "--reps", "10"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope", "Ckpt_NE"])
+
+    def test_nockpt_not_runnable(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bt", "NoCkpt"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "bt", "ReCkpt_E", "--checkpoints", "5"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "ReCkpt_E" in out
+        assert "TOTAL overhead" in out
+        assert "recoveries: 1" in out
+        assert "vs NoCkpt" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "is"] + SMALL) == 0
+        out = capsys.readouterr().out
+        for name in ("Ckpt_NE", "ReCkpt_E_Loc"):
+            assert name in out
+
+    def test_slices(self, capsys):
+        assert main(["slices", "mg", "--threshold", "30"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "slice-length histogram" in out
+
+    def test_baselines(self, capsys):
+        assert main(["baselines", "bt", "--every-k", "3"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "full snapshots would" in out
+        assert "level-2 drain" in out

@@ -1,0 +1,59 @@
+"""Public-API integrity: every advertised name resolves and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.isa",
+    "repro.compiler",
+    "repro.arch",
+    "repro.energy",
+    "repro.errors",
+    "repro.ckpt",
+    "repro.acr",
+    "repro.sim",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.analysis",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+class TestPublicApi:
+    def test_all_exports_resolve(self, name):
+        mod = importlib.import_module(name)
+        assert hasattr(mod, "__all__"), name
+        for symbol in mod.__all__:
+            assert hasattr(mod, symbol), f"{name}.{symbol}"
+
+    def test_module_docstring(self, name):
+        mod = importlib.import_module(name)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 40, name
+
+    def test_exported_callables_documented(self, name):
+        import typing
+
+        mod = importlib.import_module(name)
+        for symbol in mod.__all__:
+            obj = getattr(mod, symbol)
+            if isinstance(obj, type) or isinstance(
+                obj, typing._GenericAlias  # typing.Union aliases
+            ):
+                continue
+            if callable(obj):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_cli_module_importable():
+    from repro import cli
+
+    assert callable(cli.main)

@@ -1,0 +1,87 @@
+"""Tests for repro.util.rng."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import DeterministicRng, derive_seed, spawn_rngs
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_label_changes_seed(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_parent_changes_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_in_63_bit_range(self):
+        for label in ("x", "y", "z"):
+            s = derive_seed(123456789, label)
+            assert 0 <= s < (1 << 63)
+
+    @given(st.integers(min_value=0, max_value=2**62), st.text(max_size=30))
+    def test_always_in_range(self, parent, label):
+        assert 0 <= derive_seed(parent, label) < (1 << 63)
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_child_streams_independent_of_sibling_order(self):
+        root = DeterministicRng(7)
+        c1 = root.child("one")
+        first = [c1.random() for _ in range(5)]
+        root2 = DeterministicRng(7)
+        root2.child("two")  # creating another child must not disturb "one"
+        c1b = root2.child("one")
+        assert first == [c1b.random() for _ in range(5)]
+
+    def test_weighted_index_respects_zero_weight(self):
+        rng = DeterministicRng(3)
+        for _ in range(200):
+            assert rng.weighted_index([0.0, 1.0, 0.0]) == 1
+
+    def test_weighted_index_requires_positive_sum(self):
+        rng = DeterministicRng(3)
+        with pytest.raises(ValueError):
+            rng.weighted_index([0.0, 0.0])
+
+    def test_weighted_index_distribution(self):
+        rng = DeterministicRng(11)
+        counts = [0, 0]
+        for _ in range(2000):
+            counts[rng.weighted_index([1.0, 3.0])] += 1
+        assert counts[1] > counts[0] * 2
+
+    def test_uniform_bounds(self):
+        rng = DeterministicRng(5)
+        for _ in range(100):
+            v = rng.uniform(2.0, 3.0)
+            assert 2.0 <= v < 3.0
+
+    def test_value_seed_is_32bit(self):
+        rng = DeterministicRng(5)
+        for _ in range(50):
+            assert 0 <= rng.value_seed() < (1 << 32)
+
+    def test_sample_distinct(self):
+        rng = DeterministicRng(5)
+        s = rng.sample(list(range(10)), 5)
+        assert len(set(s)) == 5
+
+
+class TestSpawnRngs:
+    def test_one_per_label(self):
+        rngs = spawn_rngs(1, ["a", "b", "c"])
+        assert [r.label for r in rngs] == ["a", "b", "c"]
+
+    def test_streams_differ(self):
+        a, b = spawn_rngs(1, ["a", "b"])
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]

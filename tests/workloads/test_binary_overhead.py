@@ -1,0 +1,46 @@
+"""Embedded-slice binary footprint (paper footnote 4).
+
+The paper notes that for `is` the size overhead of embedded slices stays
+under 2% of the binary.  Our synthetic kernels have a different
+static-size balance, but the same qualitative claim must hold: the slice
+table is a small fraction of the program text.
+"""
+
+import pytest
+
+from repro.compiler.embed import compile_program
+from repro.compiler.policy import ThresholdPolicy
+from repro.compiler.slices import SLICE_INSTR_BYTES
+from repro.workloads.registry import all_workload_names, get_workload
+
+
+def static_binary_bytes(program) -> int:
+    """Static program text: every instruction (ghost included) at the
+    fixed 4-byte encoding."""
+    return sum(
+        (len(k.body) + k.ghost_alu) * SLICE_INSTR_BYTES
+        for k in program.kernels
+    )
+
+
+class TestBinaryOverhead:
+    @pytest.mark.parametrize("name", all_workload_names())
+    def test_slice_table_small_fraction_of_binary(self, name):
+        spec = get_workload(name)
+        program = spec.build_programs(1, region_scale=0.25, reps=12)[0]
+        cp = compile_program(program, ThresholdPolicy(spec.default_threshold))
+        binary = static_binary_bytes(program)
+        assert cp.stats.embedded_bytes < 0.25 * binary, (
+            name,
+            cp.stats.embedded_bytes,
+            binary,
+        )
+
+    def test_is_overhead_smallest_thanks_to_threshold_five(self):
+        """Capping is at threshold 5 (footnote 4) keeps its embedded
+        bytes well below what threshold 10 would cost."""
+        spec = get_workload("is")
+        program = spec.build_programs(1, region_scale=0.25, reps=12)[0]
+        at5 = compile_program(program, ThresholdPolicy(5)).stats.embedded_bytes
+        at10 = compile_program(program, ThresholdPolicy(10)).stats.embedded_bytes
+        assert at5 < at10

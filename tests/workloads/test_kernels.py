@@ -1,0 +1,147 @@
+"""Unit tests for workload kernel builders (site/shared/burst)."""
+
+import pytest
+
+from repro.isa.instructions import LoadInstr, StoreInstr
+from repro.workloads.kernels import (
+    assign_sites,
+    burst_kernels,
+    shared_kernel,
+    site_kernel,
+)
+from repro.workloads.spec import BurstSpec
+
+from tests.conftest import tiny_workload
+
+
+def stores_of(kernel):
+    return [i for i in kernel.body if isinstance(i, StoreInstr)]
+
+
+class TestSiteKernel:
+    def setup_method(self):
+        self.spec = tiny_workload()
+        self.assignments = assign_sites(self.spec, 64)
+
+    def test_window_addresses(self):
+        a = next(x for x in self.assignments if x.kind == "chain" and not x.sparse)
+        k = site_kernel(
+            self.spec, a, thread=0, rep=0, active_words=8,
+            window_offset=2, window_words=4,
+        )
+        store = stores_of(k)[0]
+        addrs = {store.pattern.address(i) for i in range(k.trip_count)}
+        assert len(addrs) == 4
+        base = store.pattern.base
+        assert addrs == {base + (2 + j) * 8 for j in range(4)}
+
+    def test_window_wraps_modulo_active(self):
+        a = next(x for x in self.assignments if x.kind == "chain" and not x.sparse)
+        k = site_kernel(
+            self.spec, a, thread=0, rep=0, active_words=4,
+            window_offset=3, window_words=2,
+        )
+        store = stores_of(k)[0]
+        addrs = sorted(
+            store.pattern.address(i) - store.pattern.base
+            for i in range(k.trip_count)
+        )
+        assert addrs == [0, 24]  # words 3 and 0 (wrapped)
+
+    def test_sparse_site_one_word_per_line(self):
+        sparse = next(x for x in self.assignments if x.sparse)
+        k = site_kernel(
+            self.spec, sparse, thread=0, rep=0, active_words=4,
+            window_offset=0, window_words=4,
+        )
+        store = stores_of(k)[0]
+        lines = {store.pattern.address(i) // 64 for i in range(4)}
+        assert len(lines) == 4
+
+    def test_threads_disjoint(self):
+        a = self.assignments[0]
+        k0 = site_kernel(self.spec, a, 0, 0, 8, 0, 4)
+        k1 = site_kernel(self.spec, a, 1, 0, 8, 0, 4)
+        assert stores_of(k0)[0].pattern.base != stores_of(k1)[0].pattern.base
+
+
+class TestSharedKernel:
+    def test_same_cluster_shares_loads(self):
+        spec = tiny_workload(cluster_size=2)
+        k0 = shared_kernel(spec, thread=0, rep=0, cluster=0, member=0)
+        k1 = shared_kernel(spec, thread=1, rep=0, cluster=0, member=1)
+        load0 = [i for i in k0.body if isinstance(i, LoadInstr)][0]
+        load1 = [i for i in k1.body if isinstance(i, LoadInstr)][0]
+        assert load0.pattern.base == load1.pattern.base
+
+    def test_different_clusters_disjoint(self):
+        spec = tiny_workload(cluster_size=2)
+        k0 = shared_kernel(spec, 0, 0, cluster=0, member=0)
+        k2 = shared_kernel(spec, 2, 0, cluster=1, member=0)
+        load0 = [i for i in k0.body if isinstance(i, LoadInstr)][0]
+        load2 = [i for i in k2.body if isinstance(i, LoadInstr)][0]
+        assert load0.pattern.base != load2.pattern.base
+
+    def test_store_slots_disjoint_per_member(self):
+        spec = tiny_workload(cluster_size=2)
+        k0 = shared_kernel(spec, 0, 0, cluster=0, member=0)
+        k1 = shared_kernel(spec, 1, 0, cluster=0, member=1)
+        s0, s1 = stores_of(k0)[0], stores_of(k1)[0]
+        a0 = {s0.pattern.address(i) for i in range(k0.trip_count)}
+        a1 = {s1.pattern.address(i) for i in range(k1.trip_count)}
+        assert not (a0 & a1)
+
+    def test_shared_store_not_sliceable(self):
+        """Shared data must never be omittable (thread-local-only rule)."""
+        from repro.compiler.embed import compile_program
+        from repro.isa.program import Program
+
+        spec = tiny_workload(cluster_size=2)
+        k = shared_kernel(spec, 0, 0, cluster=0, member=0)
+        cp = compile_program(Program([k]))
+        assert cp.stats.sites_embedded == 0
+        assert cp.stats.sites_trivial == 1
+
+
+class TestBurstKernels:
+    def test_burst_stays_in_thread_window(self):
+        spec = tiny_workload()
+        burst = BurstSpec(0.9, 3.0, "chain", 5, 10)
+        for thread in (0, 7):
+            kernels = burst_kernels(
+                spec, burst, thread=thread, rep=0, pass_index=0, region_words=64
+            )
+            lo = (thread + 1) << 30
+            hi = (thread + 2) << 30
+            for k in kernels:
+                for s in stores_of(k):
+                    assert lo <= s.pattern.base < hi, (thread, s.pattern.base)
+
+    def test_passes_share_addresses(self):
+        spec = tiny_workload()
+        burst = BurstSpec(0.5, 2.0, "chain", 5, 10, passes=2)
+        k0 = burst_kernels(spec, burst, 0, 0, pass_index=0, region_words=64)
+        k1 = burst_kernels(spec, burst, 0, 1, pass_index=1, region_words=64)
+        assert stores_of(k0[0])[0].pattern.base == stores_of(k1[0])[0].pattern.base
+
+    def test_chain_lengths_span_range(self):
+        from repro.compiler.embed import compile_program
+        from repro.compiler.policy import ThresholdPolicy
+        from repro.isa.program import Program
+
+        spec = tiny_workload()
+        burst = BurstSpec(0.5, 2.0, "chain", 12, 20)
+        kernels = burst_kernels(spec, burst, 0, 0, 0, region_words=64)
+        cp = compile_program(Program(kernels), ThresholdPolicy(50))
+        lengths = sorted(cp.slices.length_histogram())
+        assert lengths[0] >= 12 and lengths[-1] <= 20
+
+    def test_copy_burst_not_sliceable(self):
+        from repro.compiler.embed import compile_program
+        from repro.isa.program import Program
+
+        spec = tiny_workload()
+        burst = BurstSpec(0.5, 2.0, "copy")
+        kernels = burst_kernels(spec, burst, 0, 0, 0, region_words=64)
+        cp = compile_program(Program(kernels))
+        assert cp.stats.sites_embedded == 0

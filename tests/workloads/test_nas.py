@@ -1,0 +1,77 @@
+"""Tests for the NAS benchmark specs and registry."""
+
+import pytest
+
+from repro.compiler.embed import compile_program
+from repro.compiler.policy import ThresholdPolicy
+from repro.workloads.nas import NAS_BENCHMARKS
+from repro.workloads.registry import all_workload_names, get_workload
+
+PAPER_BENCHMARKS = ("bt", "cg", "dc", "ft", "is", "lu", "mg", "sp")
+
+
+class TestRegistry:
+    def test_all_eight_present(self):
+        assert tuple(all_workload_names()) == PAPER_BENCHMARKS
+
+    def test_get_workload(self):
+        assert get_workload("bt").name == "bt"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            get_workload("nope")
+
+
+class TestSpecShapes:
+    def test_is_uses_threshold_five(self):
+        # Paper footnote 4.
+        assert get_workload("is").default_threshold == 5
+        for name in PAPER_BENCHMARKS:
+            if name != "is":
+                assert get_workload(name).default_threshold == 10
+
+    def test_all_to_all_communicators(self):
+        for name in ("bt", "cg", "sp"):
+            assert get_workload(name).cluster_size == 0
+        for name in ("ft", "is", "mg", "dc", "lu"):
+            assert get_workload(name).cluster_size > 0
+
+    def test_cg_most_compute_dense(self):
+        ghosts = {n: get_workload(n).ghost_alu for n in PAPER_BENCHMARKS}
+        assert ghosts["cg"] == max(ghosts.values())
+        assert ghosts["ft"] == min(ghosts.values())
+
+    def test_is_slices_capped_at_ten(self):
+        spec = get_workload("is")
+        assert all(b.hi <= 10 for b in spec.len_mix)
+
+    def test_lu_has_long_tail(self):
+        spec = get_workload("lu")
+        assert any(b.hi > 50 for b in spec.len_mix)
+
+    def test_bursts(self):
+        assert get_workload("is").bursts[0].kind == "copy"
+        assert get_workload("ft").bursts[0].kind == "chain"
+        assert get_workload("ft").bursts[0].len_lo >= 31
+        assert get_workload("dc").bursts[0].kind == "widen"
+
+    def test_specs_build_and_compile(self):
+        # Every benchmark builds and slices without error at a tiny scale.
+        for name in PAPER_BENCHMARKS:
+            spec = get_workload(name)
+            programs = spec.build_programs(2, region_scale=0.15, reps=8)
+            cp = compile_program(
+                programs[0], ThresholdPolicy(spec.default_threshold)
+            )
+            assert cp.stats.sites_total > 0
+            assert cp.stats.sites_embedded > 0, name
+
+    def test_slice_length_mix_realised(self):
+        """The compiled slice-length histogram reflects the spec's mix."""
+        spec = get_workload("mg")  # 68% of sites at lengths 21..30
+        program = spec.build_programs(1, reps=2)[0]
+        cp = compile_program(program, ThresholdPolicy(50))
+        hist = cp.slices.length_histogram()
+        in_band = sum(n for l, n in hist.items() if 21 <= l <= 30)
+        total = sum(hist.values())
+        assert in_band / total > 0.5

@@ -1,0 +1,162 @@
+"""Tests for repro.workloads.spec and kernels (structure and generation)."""
+
+import pytest
+
+from repro.compiler.embed import compile_program
+from repro.compiler.policy import ThresholdPolicy
+from repro.isa.instructions import StoreInstr
+from repro.workloads.kernels import assign_sites
+from repro.workloads.spec import BurstSpec, SliceLenBucket, WorkloadSpec
+
+from tests.conftest import tiny_workload
+
+
+class TestSpecValidation:
+    def test_mix_weights_bounded(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            WorkloadSpec(
+                name="bad",
+                len_mix=(SliceLenBucket(0.9, 2, 10), SliceLenBucket(0.3, 11, 20)),
+                copy_frac=0.0,
+                accum_frac=0.0,
+            )
+
+    def test_bucket_bounds(self):
+        with pytest.raises(ValueError):
+            SliceLenBucket(0.5, 1, 5)  # lo must be >= 2
+        with pytest.raises(ValueError):
+            SliceLenBucket(0.5, 10, 5)  # lo <= hi
+
+    def test_burst_kinds(self):
+        with pytest.raises(ValueError):
+            BurstSpec(0.5, 1.0, kind="explode")
+        BurstSpec(0.5, 1.0, kind="widen")
+
+    def test_sites_need_words(self):
+        with pytest.raises(ValueError, match="one word per site"):
+            WorkloadSpec(
+                name="bad",
+                region_words=4,
+                sites=8,
+                len_mix=(SliceLenBucket(0.9, 2, 10),),
+                copy_frac=0.0,
+                accum_frac=0.0,
+            )
+
+
+class TestAssignSites:
+    def test_apportionment_matches_weights(self):
+        spec = tiny_workload(sites=20, copy_frac=0.1, accum_frac=0.1)
+        assignments = assign_sites(spec, 100)
+        kinds = [a.kind for a in assignments]
+        assert kinds.count("copy") == 2
+        assert kinds.count("accum") == 2
+        assert kinds.count("chain") == 16
+        assert len(assignments) == 20
+
+    def test_chain_lengths_within_buckets(self):
+        spec = tiny_workload()
+        lens = [a.slice_len for a in assign_sites(spec, 64) if a.kind == "chain"]
+        assert all((2 <= l <= 8) or (12 <= l <= 20) for l in lens)
+
+    def test_words_sum_to_region(self):
+        spec = tiny_workload(sites=7)
+        assignments = assign_sites(spec, 61)
+        assert sum(a.words for a in assignments) == 61
+
+    def test_sparse_fraction_respected(self):
+        spec = tiny_workload(sites=20, sparse_frac=0.5)
+        sparse = sum(a.sparse for a in assign_sites(spec, 100))
+        assert 8 <= sparse <= 12
+
+    def test_deterministic(self):
+        spec = tiny_workload()
+        assert assign_sites(spec, 64) == assign_sites(spec, 64)
+
+
+class TestBuildPrograms:
+    def test_one_program_per_core(self):
+        programs = tiny_workload().build_programs(4)
+        assert len(programs) == 4
+        assert [p.thread_id for p in programs] == [0, 1, 2, 3]
+
+    def test_deterministic_build(self):
+        a = tiny_workload().build_programs(2)
+        b = tiny_workload().build_programs(2)
+        assert a[0].dynamic_instructions == b[0].dynamic_instructions
+        assert len(a[0].store_sites) == len(b[0].store_sites)
+
+    def test_region_scale_shrinks_footprint(self):
+        big = tiny_workload(region_words=128).build_programs(1)[0]
+        small = tiny_workload(region_words=128).build_programs(
+            1, region_scale=0.5
+        )[0]
+        assert small.dynamic_stores < big.dynamic_stores
+
+    def test_reps_override(self):
+        p12 = tiny_workload().build_programs(1, reps=12)[0]
+        p24 = tiny_workload().build_programs(1, reps=24)[0]
+        assert p24.dynamic_stores > p12.dynamic_stores
+
+    def test_threads_use_disjoint_private_regions(self):
+        programs = tiny_workload(cluster_size=0).build_programs(2)
+        def private_stores(p):
+            out = set()
+            for k in p.kernels:
+                for ins in k.body:
+                    if isinstance(ins, StoreInstr) and ins.pattern.base < (1 << 40):
+                        out.add(ins.pattern.base)
+            return out
+        assert not (private_stores(programs[0]) & private_stores(programs[1]))
+
+    def test_shared_region_per_cluster(self):
+        programs = tiny_workload(cluster_size=2).build_programs(4)
+        def shared_bases(p):
+            return {
+                ins.pattern.base
+                for k in p.kernels
+                for ins in k.body
+                if isinstance(ins, StoreInstr) and ins.pattern.base >= (1 << 40)
+            }
+        # threads 0,1 share a region distinct from threads 2,3.
+        s0, s1, s2 = (shared_bases(programs[i]) for i in (0, 1, 2))
+        assert s0 and s2
+        region = lambda bases: {b >> 20 for b in bases}
+        assert region(s0) == region(s1)
+        assert region(s0) != region(s2)
+
+    def test_compile_coverage_tracks_mix(self):
+        spec = tiny_workload()
+        program = spec.build_programs(1)[0]
+        cp = compile_program(program, ThresholdPolicy(10))
+        # mix: 50% of sites <= len 8 (embeddable at 10), 30% at 12..20
+        # (not embeddable), 20% copy/accum (never).
+        assert 0.3 < cp.stats.coverage < 0.75
+
+    def test_exclusive_burst_replaces_sites(self):
+        spec = tiny_workload(
+            bursts=(BurstSpec(0.5, 2.0, "copy", passes=2, exclusive=True),),
+        )
+        program = spec.build_programs(1)[0]
+        burst_reps = {
+            k.phase for k in program.kernels if ".burst" in k.name
+        }
+        assert burst_reps
+        for rep in burst_reps:
+            site_kernels = [
+                k
+                for k in program.kernels
+                if k.phase == rep and ".s" in k.name and ".burst" not in k.name
+                and ".shared" not in k.name
+            ]
+            assert site_kernels == []
+
+    def test_widen_burst_increases_footprint(self):
+        plain = tiny_workload()
+        widened = tiny_workload(
+            bursts=(BurstSpec(0.5, 1.0, "widen", passes=4),),
+        )
+        def store_words(spec):
+            p = spec.build_programs(1)[0]
+            return p.dynamic_stores
+        assert store_words(widened) > store_words(plain)
