@@ -18,6 +18,11 @@ BENCH_CORES = int(os.environ.get("REPRO_BENCH_CORES", "8"))
 _reps_env = os.environ.get("REPRO_BENCH_REPS", "")
 #: Timesteps per run (None = the workload default).
 BENCH_REPS = int(_reps_env) if _reps_env else None
+#: Worker processes for independent runs (1 = serial, the default).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+#: Persistent result-cache directory ("" = no on-disk cache).
+_cache_env = os.environ.get("REPRO_BENCH_CACHE", "")
+BENCH_CACHE = Path(_cache_env) if _cache_env else None
 
 
 def run_once(benchmark, fn):

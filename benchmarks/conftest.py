@@ -11,7 +11,11 @@ Scale knobs (environment):
 * ``REPRO_BENCH_SCALE``  — workload region scale (default 1.0, the
   calibrated fidelity; smaller = faster, same shapes);
 * ``REPRO_BENCH_CORES``  — core count (default 8, the paper's headline);
-* ``REPRO_BENCH_REPS``   — timesteps per run (default: workload default).
+* ``REPRO_BENCH_REPS``   — timesteps per run (default: workload default);
+* ``REPRO_BENCH_JOBS``   — worker processes for independent runs
+  (default 1 = serial; parallel results are bit-identical);
+* ``REPRO_BENCH_CACHE``  — persistent result-cache directory (unset = no
+  on-disk cache; a warm cache makes re-runs near-instant).
 """
 
 from __future__ import annotations
@@ -20,15 +24,27 @@ from pathlib import Path
 
 import pytest
 
-from _bench_lib import BENCH_CORES, BENCH_REPS, BENCH_SCALE, REPORT_DIR
+from _bench_lib import (
+    BENCH_CACHE,
+    BENCH_CORES,
+    BENCH_JOBS,
+    BENCH_REPS,
+    BENCH_SCALE,
+    REPORT_DIR,
+)
 from repro.experiments.runner import ExperimentRunner
 
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    """The shared, memoising experiment runner."""
+    """The shared, memoising (and optionally parallel/disk-cached)
+    experiment runner."""
     return ExperimentRunner(
-        num_cores=BENCH_CORES, region_scale=BENCH_SCALE, reps=BENCH_REPS
+        num_cores=BENCH_CORES,
+        region_scale=BENCH_SCALE,
+        reps=BENCH_REPS,
+        jobs=BENCH_JOBS,
+        cache_dir=BENCH_CACHE,
     )
 
 

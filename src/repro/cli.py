@@ -39,23 +39,43 @@ from repro.workloads.registry import all_workload_names, get_workload
 __all__ = ["main"]
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.5,
                         help="workload region scale (1.0 = full fidelity)")
     parser.add_argument("--cores", type=int, default=8)
     parser.add_argument("--reps", type=int, default=None)
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for independent runs")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="persist results here and reuse them across "
+                             "invocations (content-addressed, versioned)")
 
 
 def _runner(args) -> ExperimentRunner:
     return ExperimentRunner(
-        num_cores=args.cores, region_scale=args.scale, reps=args.reps
+        num_cores=args.cores, region_scale=args.scale, reps=args.reps,
+        jobs=args.jobs, cache_dir=args.cache_dir,
     )
 
 
 def cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
-    generate_report(_runner(args), include_scalability=args.scalability)
+    generate_report(
+        _runner(args),
+        include_scalability=args.scalability,
+        out_dir=args.out,
+    )
     return 0
 
 
@@ -165,6 +185,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="regenerate the paper's evaluation")
     _add_common(p)
     p.add_argument("--scalability", action="store_true")
+    p.add_argument("--out", type=str, default=None,
+                   help="also write each artifact to <out>/<name>.txt")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("run", help="run one configuration")
@@ -198,7 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"acr-repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

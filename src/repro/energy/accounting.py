@@ -58,3 +58,23 @@ class EnergyLedger:
         clone = EnergyLedger()
         clone._buckets = dict(self._buckets)
         return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EnergyLedger):
+            return NotImplemented
+        return self._buckets == other._buckets
+
+    # -- serialisation ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-safe bucket mapping (the ledger's full state)."""
+        return dict(self._buckets)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "EnergyLedger":
+        """Rebuild a ledger from :meth:`to_dict` output."""
+        ledger = cls()
+        for bucket, pj in data.items():
+            if not isinstance(bucket, str) or not isinstance(pj, (int, float)):
+                raise ValueError(f"malformed energy bucket {bucket!r}: {pj!r}")
+            ledger._buckets[bucket] = float(pj)
+        return ledger

@@ -3,19 +3,27 @@
 ``configs``  — the nine evaluated configurations (§IV): NoCkpt, Ckpt and
                ReCkpt in error-free/erroneous and global/local variants;
 ``runner``   — builds workload programs once, runs configurations on
-               demand and memoises results (the figure/table generators
-               share runs);
+               demand (serially or over a process pool) and resolves
+               them through memo → persistent cache → simulator;
+``cache``    — the content-addressed on-disk result cache;
+``progress`` — per-run timing and cache hit/miss observability;
 ``figures``  — one generator per paper figure (6..13);
 ``tables_``  — Table I and Table II;
 ``placement``— the paper's future-work extension: recomputation-aware
                checkpoint placement.
 """
 
+from repro.experiments.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    run_cache_key,
+)
 from repro.experiments.configs import (
     CONFIG_NAMES,
     ConfigRequest,
     make_options,
 )
+from repro.experiments.progress import ProgressTracker, RunRecord
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.figures import (
     FigureResult,
@@ -38,9 +46,14 @@ from repro.experiments.tables_ import (
 )
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "run_cache_key",
     "CONFIG_NAMES",
     "ConfigRequest",
     "make_options",
+    "ProgressTracker",
+    "RunRecord",
     "ExperimentRunner",
     "FigureResult",
     "fig1_error_rate",

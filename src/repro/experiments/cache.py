@@ -1,0 +1,186 @@
+"""Persistent, content-addressed result cache.
+
+A full paper regeneration funnels every figure and table through the same
+(workload, :class:`~repro.experiments.configs.ConfigRequest`) runs, and
+those runs are *expensive to recompute but cheap to store* — exactly the
+trade ACR itself exploits.  This module persists each
+:class:`~repro.sim.results.RunResult` as versioned JSON under a key that
+hashes **everything that determines the run**:
+
+* the workload name and the request's full canonical key;
+* the machine configuration (every Table-I field, flattened);
+* the scale knobs (``num_cores``, ``region_scale``, ``reps``);
+* the cache schema version and the package version.
+
+Entries live at ``<root>/<key[:2]>/<key>.json``.  Writes are atomic
+(temp file + ``os.replace`` in the same directory) so a crashed or
+concurrent writer can never leave a partially-written entry behind;
+readers treat any undecodable, truncated, schema-drifted or
+version-mismatched file as a **miss** and quarantine it by deletion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.arch.config import MachineConfig
+from repro.experiments.configs import ConfigRequest
+from repro.sim.results import RunResult
+
+__all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "run_cache_key"]
+
+#: Bump when the serialised :class:`RunResult` layout (or anything about
+#: how keys are derived) changes; old entries then read as misses.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _package_version() -> str:
+    """The installed package version (imported lazily: ``repro.__init__``
+    itself imports this module, so a top-level import would be circular)."""
+    import repro
+
+    return getattr(repro, "__version__", "unknown")
+
+
+def _canonical(payload: Any) -> str:
+    """Deterministic JSON rendering for hashing (sorted keys, no spaces)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def run_cache_key(
+    workload: str,
+    request: ConfigRequest,
+    machine: MachineConfig,
+    region_scale: float,
+    reps: Optional[int],
+) -> str:
+    """The content hash identifying one simulation run.
+
+    Every field that can change the run's outcome is folded in; two keys
+    collide only if the runs they name are identical.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code": _package_version(),
+        "workload": workload,
+        "request": request.canonical_key(),
+        "machine": dataclasses.asdict(machine),
+        "region_scale": repr(float(region_scale)),
+        "reps": reps,
+    }
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of serialised run results, keyed by content hash."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except FileExistsError as exc:
+            raise ValueError(
+                f"cache root is not a directory: {self.root}"
+            ) from exc
+
+    # ------------------------------------------------------------------ paths --
+    def path_for(self, key: str) -> Path:
+        """Where an entry for ``key`` lives (two-level fan-out)."""
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------- load --
+    def load(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        Corrupt entries (truncated writes, hand-edited files, schema
+        drift) are deleted and reported as misses — the caller simply
+        re-simulates and overwrites them.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None
+        try:
+            envelope = json.loads(raw)
+            if not isinstance(envelope, dict):
+                raise ValueError("cache envelope is not an object")
+            if envelope.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("cache schema version mismatch")
+            if envelope.get("key") != key:
+                raise ValueError("cache entry key mismatch")
+            return RunResult.from_dict(envelope["result"])
+        except (ValueError, TypeError, KeyError):
+            self._quarantine(path)
+            return None
+
+    # ------------------------------------------------------------------ store --
+    def store(self, key: str, result: RunResult) -> Path:
+        """Persist ``result`` under ``key`` atomically; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "code": _package_version(),
+            "key": key,
+            "result": result.to_dict(),
+        }
+        payload = json.dumps(envelope, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -------------------------------------------------------------- management --
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def describe(self) -> Dict[str, Any]:
+        """Summary of the store (location, entry count, bytes)."""
+        entries = list(self.root.glob("*/*.json"))
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "schema": CACHE_SCHEMA_VERSION,
+        }
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Remove a corrupt entry so the rewrite starts clean."""
+        try:
+            path.unlink()
+        except OSError:
+            pass

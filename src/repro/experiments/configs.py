@@ -21,8 +21,8 @@ ReCkpt_E_Loc    local   yes   yes
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, fields
+from typing import Any, Optional, Tuple
 
 from repro.compiler.policy import SelectionPolicy, ThresholdPolicy
 from repro.errors.injection import NoErrors, UniformErrors
@@ -48,12 +48,23 @@ CONFIG_NAMES: Tuple[str, ...] = (
 
 @dataclass(frozen=True)
 class ConfigRequest:
-    """A configuration name plus its experiment knobs (a cache key)."""
+    """A configuration name plus its experiment knobs (a cache key).
+
+    Every field that can change a run's outcome **must** live here: the
+    frozen dataclass derives ``__eq__``/``__hash__`` over all fields, and
+    the persistent result cache keys entries by :meth:`canonical_key`.
+    A knob that reaches the simulator without appearing in this class
+    would silently alias distinct runs — a test walks the fields and
+    pins that every one of them perturbs the key.
+    """
 
     config: str
     num_checkpoints: int = 25
     error_count: int = 1
     threshold: int = 10
+    #: Seed of the initial memory image (reaches
+    #: :class:`~repro.sim.simulator.SimulationOptions` verbatim).
+    memory_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.config not in CONFIG_NAMES:
@@ -64,6 +75,20 @@ class ConfigRequest:
         check_positive("num_checkpoints", self.num_checkpoints)
         check_positive("error_count", self.error_count)
         check_positive("threshold", self.threshold)
+        if not isinstance(self.memory_seed, int) or self.memory_seed < 0:
+            raise ValueError(
+                f"memory_seed must be a non-negative int, "
+                f"got {self.memory_seed!r}"
+            )
+
+    def canonical_key(self) -> Tuple[Tuple[str, Any], ...]:
+        """Every field as sorted (name, value) pairs — the cache-key
+        contribution of this request.  Derived from ``fields`` so a newly
+        added knob can never be forgotten."""
+        return tuple(
+            (f.name, getattr(self, f.name))
+            for f in sorted(fields(self), key=lambda f: f.name)
+        )
 
     @property
     def is_baseline(self) -> bool:
@@ -96,7 +121,11 @@ def make_options(
 ) -> SimulationOptions:
     """Build the simulator options for one configuration request."""
     if request.is_baseline:
-        return SimulationOptions(label=request.config, scheme="none")
+        return SimulationOptions(
+            label=request.config,
+            scheme="none",
+            memory_seed=request.memory_seed,
+        )
     errors = (
         UniformErrors(request.error_count) if request.with_errors else NoErrors()
     )
@@ -113,4 +142,5 @@ def make_options(
         errors=errors,
         error_model=error_model or ErrorModel(),
         baseline=baseline,
+        memory_seed=request.memory_seed,
     )

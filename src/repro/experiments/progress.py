@@ -1,0 +1,152 @@
+"""Run observability: per-run timing, cache counters, summary table.
+
+Every simulation the :class:`~repro.experiments.runner.ExperimentRunner`
+performs — or serves from memory or disk — is recorded here, so a paper
+regeneration can answer "where did the time go?" and tests can assert
+the cache actually worked (e.g. a warm second pass serves ≥95% of runs
+from disk).
+
+Sources, in increasing cost order:
+
+``memo``   — the in-process memo dictionary (free);
+``disk``   — the persistent :class:`~repro.experiments.cache.ResultCache`;
+``sim``    — a fresh simulation, executed in-process;
+``worker`` — a fresh simulation, executed in a pool worker process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.util.tables import format_table
+
+__all__ = ["RunRecord", "ProgressTracker"]
+
+_SOURCES = ("disk", "sim", "worker")
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One observed run: what ran, where it came from, how long it took."""
+
+    workload: str
+    config: str
+    source: str
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.source not in _SOURCES:
+            raise ValueError(
+                f"source must be one of {_SOURCES}, got {self.source!r}"
+            )
+
+
+@dataclass
+class ProgressTracker:
+    """Accumulates :class:`RunRecord` events plus cache hit/miss counters.
+
+    ``echo`` (optional) receives one formatted line per event — the CLI
+    wires it to stderr for live progress; tests leave it unset.
+    """
+
+    echo: Optional[Callable[[str], None]] = None
+    records: List[RunRecord] = field(default_factory=list)
+    memo_hits: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+
+    # ------------------------------------------------------------------ events --
+    def record(self, workload: str, config: str, source: str,
+               seconds: float) -> None:
+        """Record one completed run fetch/execution."""
+        rec = RunRecord(workload, config, source, seconds)
+        self.records.append(rec)
+        if source == "disk":
+            self.disk_hits += 1
+        if self.echo is not None:
+            self.echo(
+                f"[{rec.source:>6}] {rec.workload:>4} {rec.config:<14}"
+                f" {rec.seconds * 1e3:9.1f} ms"
+            )
+
+    def record_miss(self) -> None:
+        """Count one disk-cache miss (the run will be simulated)."""
+        self.disk_misses += 1
+
+    def record_memo(self) -> None:
+        """Count one in-process memo hit (free; not a timed record)."""
+        self.memo_hits += 1
+
+    # ----------------------------------------------------------------- queries --
+    @property
+    def total_runs(self) -> int:
+        """All observed run fetches (any source)."""
+        return len(self.records)
+
+    @property
+    def simulated(self) -> int:
+        """Runs that actually executed a simulation."""
+        return sum(1 for r in self.records if r.source in ("sim", "worker"))
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of disk lookups that hit (0.0 when none were made)."""
+        lookups = self.disk_hits + self.disk_misses
+        return self.disk_hits / lookups if lookups else 0.0
+
+    def by_source(self) -> Dict[str, int]:
+        """Event counts per source."""
+        counts = {s: 0 for s in _SOURCES}
+        for r in self.records:
+            counts[r.source] += 1
+        return counts
+
+    def elapsed_seconds(self, source: Optional[str] = None) -> float:
+        """Total recorded wall time, optionally for one source."""
+        return sum(
+            r.seconds for r in self.records
+            if source is None or r.source == source
+        )
+
+    # ----------------------------------------------------------------- reports --
+    def summary_table(self) -> str:
+        """The observability summary the CLI prints after a regeneration."""
+        counts = self.by_source()
+        rows = [["memo", self.memo_hits, 0.0]]
+        rows += [
+            [src, counts[src], round(self.elapsed_seconds(src), 3)]
+            for src in _SOURCES
+        ]
+        rows.append(["TOTAL", self.total_runs + self.memo_hits,
+                     round(self.elapsed_seconds(), 3)])
+        table = format_table(
+            ["source", "runs", "seconds"], rows, title="run summary"
+        )
+        lookups = self.disk_hits + self.disk_misses
+        if lookups:
+            table += (
+                f"\ndisk cache: {self.disk_hits}/{lookups} hits "
+                f"({100.0 * self.hit_rate:.1f}%)"
+            )
+        return table
+
+    def reset(self) -> None:
+        """Drop all records and counters (new measurement window)."""
+        self.records.clear()
+        self.memo_hits = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+
+
+class _Timer:
+    """Tiny context helper: ``with _Timer() as t: ...; t.seconds``."""
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._t0

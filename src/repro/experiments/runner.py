@@ -1,10 +1,23 @@
-"""The experiment runner: shared, memoised simulation runs.
+"""The experiment engine: memoised, disk-cached, parallel simulation runs.
 
 Every figure/table generator needs the same small set of runs (e.g. the
 Fig. 6/7/8 trio shares the NoCkpt/Ckpt/ReCkpt runs per benchmark); the
-runner builds each workload's programs once and caches results keyed by
-the full configuration request, so regenerating all paper artifacts costs
-each distinct simulation exactly once per process.
+runner builds each workload's programs once and resolves every
+(workload, :class:`ConfigRequest`) pair through three layers, cheapest
+first:
+
+1. the **in-process memo** — each distinct simulation costs one process
+   exactly once;
+2. the **persistent cache** (``cache_dir``) — serialised results keyed by
+   a content hash of everything that determines the run, so repeated
+   full-paper regenerations across invocations cost almost nothing;
+3. the **simulator** — either inline, or fanned out over a
+   ``ProcessPoolExecutor`` (``jobs > 1``) for independent pairs via
+   :meth:`ExperimentRunner.run_many`.
+
+Parallel runs are bit-identical to serial ones: the simulation is
+deterministic, workers return the full serialised result, and both paths
+share the same cache keys (a test pins this).
 
 Scale knobs: ``region_scale``/``reps`` shrink the workloads uniformly —
 overheads and reductions are ratios, so they are stable across scales
@@ -14,21 +27,77 @@ keep a full paper regeneration to minutes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.config import MachineConfig
+from repro.experiments.cache import ResultCache, run_cache_key
 from repro.experiments.configs import ConfigRequest, make_options
+from repro.experiments.progress import ProgressTracker, _Timer
 from repro.isa.program import Program
-from repro.sim.results import RunResult, energy_overhead, time_overhead
+from repro.sim.results import (
+    BaselineProfile,
+    RunResult,
+    energy_overhead,
+    time_overhead,
+)
 from repro.sim.simulator import Simulator
 from repro.util.validation import check_positive
 from repro.workloads.registry import all_workload_names, get_workload
 
 __all__ = ["ExperimentRunner"]
 
+#: One unit of pool work: everything a worker needs to rebuild the
+#: simulator and execute the run, plus the baseline profile (None for
+#: NoCkpt runs — they *are* the profile).
+_WorkerTask = Tuple[
+    str, ConfigRequest, MachineConfig, float, Optional[int], Optional[List[float]]
+]
+
+#: Per-worker-process simulator memo, keyed by the full build recipe.
+#: Lives at module scope so one pool worker serving several requests of
+#: the same workload builds its programs once.
+_WORKER_SIMULATORS: Dict[Tuple, Simulator] = {}
+
+
+def _worker_simulator(
+    workload: str,
+    machine: MachineConfig,
+    region_scale: float,
+    reps: Optional[int],
+) -> Simulator:
+    """Build (or reuse) this worker process's simulator for a workload."""
+    key = (workload, machine, region_scale, reps)
+    sim = _WORKER_SIMULATORS.get(key)
+    if sim is None:
+        spec = get_workload(workload)
+        programs = spec.build_programs(
+            machine.num_cores, region_scale=region_scale, reps=reps
+        )
+        sim = Simulator(programs, machine)
+        _WORKER_SIMULATORS[key] = sim
+    return sim
+
+
+def _worker_execute(task: _WorkerTask) -> Tuple[str, ConfigRequest, dict, float]:
+    """Pool entry point: run one configuration, return its serialised
+    result (dicts, not ``RunResult`` — the checkpoint store never crosses
+    the process boundary, and JSON-safe payloads keep pickling cheap)."""
+    workload, request, machine, region_scale, reps, baseline_cores = task
+    with _Timer() as timer:
+        sim = _worker_simulator(workload, machine, region_scale, reps)
+        baseline = (
+            BaselineProfile(list(baseline_cores))
+            if baseline_cores is not None
+            else None
+        )
+        result = sim.run(make_options(request, baseline))
+    return workload, request, result.to_dict(), timer.seconds
+
 
 class ExperimentRunner:
-    """Runs (workload, configuration) pairs with memoisation."""
+    """Runs (workload, configuration) pairs with layered caching."""
 
     def __init__(
         self,
@@ -36,15 +105,24 @@ class ExperimentRunner:
         region_scale: float = 1.0,
         reps: Optional[int] = None,
         machine: Optional[MachineConfig] = None,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        progress: Optional[ProgressTracker] = None,
     ) -> None:
         check_positive("num_cores", num_cores)
         check_positive("region_scale", region_scale)
+        check_positive("jobs", jobs)
         self.num_cores = num_cores
         self.region_scale = region_scale
         self.reps = reps
         self.machine = machine or MachineConfig(num_cores=num_cores)
         if self.machine.num_cores != num_cores:
             raise ValueError("machine config core count mismatch")
+        self.jobs = jobs
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if cache_dir is not None else None
+        )
+        self.progress = progress if progress is not None else ProgressTracker()
         self._programs: Dict[str, List[Program]] = {}
         self._simulators: Dict[str, Simulator] = {}
         self._results: Dict[Tuple[str, ConfigRequest], RunResult] = {}
@@ -67,24 +145,54 @@ class ExperimentRunner:
         """The paper's per-benchmark slice threshold (10; 5 for ``is``)."""
         return get_workload(workload).default_threshold
 
+    def cache_key(self, workload: str, request: ConfigRequest) -> str:
+        """The persistent-cache key of one run (requires a cache to be
+        meaningful, but computable without one)."""
+        return run_cache_key(
+            workload, request, self.machine, self.region_scale, self.reps
+        )
+
     # -- runs ---------------------------------------------------------------
     def run(self, workload: str, request: ConfigRequest) -> RunResult:
         """Run (or fetch) one configuration of one workload."""
-        key = (workload, request)
-        if key in self._results:
-            return self._results[key]
-        sim = self.simulator(workload)
-        baseline = None
-        if not request.is_baseline:
-            baseline = self.baseline(workload).baseline_profile()
-        options = make_options(request, baseline)
-        result = sim.run(options)
-        self._results[key] = result
-        return result
+        found = self._lookup(workload, request)
+        if found is not None:
+            return found
+        return self._simulate(workload, request)
 
-    def baseline(self, workload: str) -> RunResult:
-        """The NoCkpt run of a workload."""
-        return self.run(workload, ConfigRequest("NoCkpt"))
+    def run_many(
+        self,
+        pairs: Iterable[Tuple[str, ConfigRequest]],
+        jobs: Optional[int] = None,
+    ) -> List[RunResult]:
+        """Resolve many (workload, request) pairs, fanning independent
+        simulations out over a process pool when ``jobs > 1``.
+
+        Results are returned in input order and are identical to what the
+        serial :meth:`run` path produces (workers ship serialised results
+        back; the checkpoint store stays worker-side).  Pairs already in
+        the memo or the persistent cache are never re-simulated.
+        """
+        ordered = list(dict.fromkeys(pairs))
+        jobs = self.jobs if jobs is None else jobs
+        check_positive("jobs", jobs)
+
+        pending = [
+            (wl, req)
+            for wl, req in ordered
+            if self._lookup(wl, req) is None
+        ]
+        if pending:
+            if jobs <= 1:
+                for wl, req in pending:
+                    self._simulate(wl, req)
+            else:
+                self._run_parallel(pending, jobs)
+        return [self._results[(wl, req)] for wl, req in ordered]
+
+    def baseline(self, workload: str, memory_seed: int = 0) -> RunResult:
+        """The NoCkpt run of a workload (same memory seed as dependents)."""
+        return self.run(workload, ConfigRequest("NoCkpt", memory_seed=memory_seed))
 
     def run_default(
         self,
@@ -97,26 +205,153 @@ class ExperimentRunner:
         """Run a named configuration with the benchmark's default threshold."""
         return self.run(
             workload,
-            ConfigRequest(
+            self.default_request(
+                workload,
                 config,
                 num_checkpoints=num_checkpoints,
                 error_count=error_count,
-                threshold=(
-                    threshold
-                    if threshold is not None
-                    else self.default_threshold(workload)
-                ),
+                threshold=threshold,
             ),
         )
+
+    def default_request(
+        self,
+        workload: str,
+        config: str,
+        num_checkpoints: int = 25,
+        error_count: int = 1,
+        threshold: Optional[int] = None,
+    ) -> ConfigRequest:
+        """The request :meth:`run_default` would run (for prefetch plans)."""
+        return ConfigRequest(
+            config,
+            num_checkpoints=num_checkpoints,
+            error_count=error_count,
+            threshold=(
+                threshold
+                if threshold is not None
+                else self.default_threshold(workload)
+            ),
+        )
+
+    # -- resolution layers ---------------------------------------------------
+    def _lookup(
+        self, workload: str, request: ConfigRequest
+    ) -> Optional[RunResult]:
+        """Memo, then persistent cache; ``None`` means 'must simulate'."""
+        key = (workload, request)
+        memo = self._results.get(key)
+        if memo is not None:
+            self.progress.record_memo()
+            return memo
+        if self.cache is not None:
+            with _Timer() as timer:
+                cached = self.cache.load(self.cache_key(workload, request))
+            if cached is not None:
+                self._results[key] = cached
+                self.progress.record(
+                    workload, request.config, "disk", timer.seconds
+                )
+                return cached
+            self.progress.record_miss()
+        return None
+
+    def _simulate(self, workload: str, request: ConfigRequest) -> RunResult:
+        """Execute one run in-process and store it in every layer."""
+        with _Timer() as timer:
+            sim = self.simulator(workload)
+            baseline = None
+            if not request.is_baseline:
+                baseline = self.baseline(
+                    workload, request.memory_seed
+                ).baseline_profile()
+            result = sim.run(make_options(request, baseline))
+        self.progress.record(workload, request.config, "sim", timer.seconds)
+        self._store(workload, request, result)
+        return result
+
+    def _store(
+        self, workload: str, request: ConfigRequest, result: RunResult
+    ) -> None:
+        """Install a fresh result into the memo and the persistent cache."""
+        self._results[(workload, request)] = result
+        if self.cache is not None:
+            self.cache.store(self.cache_key(workload, request), result)
+
+    # -- parallel fan-out ----------------------------------------------------
+    def _run_parallel(
+        self, pending: Sequence[Tuple[str, ConfigRequest]], jobs: int
+    ) -> None:
+        """Fan ``pending`` out over a process pool, baselines first.
+
+        Two phases: every needed NoCkpt baseline runs first (workers need
+        its per-core useful-time profile to place boundaries and errors),
+        then all remaining pairs run fully independently.
+        """
+        baseline_reqs: Dict[Tuple[str, ConfigRequest], None] = {}
+        for wl, req in pending:
+            if req.is_baseline:
+                baseline_reqs.setdefault((wl, req), None)
+            else:
+                base = ConfigRequest("NoCkpt", memory_seed=req.memory_seed)
+                baseline_reqs.setdefault((wl, base), None)
+
+        # Pairs already in `pending` are known misses; only implicit
+        # baselines (needed but not requested) get a fresh lookup.
+        pending_set = set(pending)
+        phase1 = [
+            key
+            for key in baseline_reqs
+            if key in pending_set or self._lookup(*key) is None
+        ]
+        phase2 = [(wl, req) for wl, req in pending if not req.is_baseline]
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            if phase1:
+                self._dispatch(pool, phase1, baselines=None)
+            if phase2:
+                profiles = {
+                    key: list(self._results[key].per_core_useful_ns)
+                    for key in baseline_reqs
+                }
+                self._dispatch(pool, phase2, baselines=profiles)
+
+    def _dispatch(
+        self,
+        pool: ProcessPoolExecutor,
+        pairs: Sequence[Tuple[str, ConfigRequest]],
+        baselines: Optional[Dict[Tuple[str, ConfigRequest], List[float]]],
+    ) -> None:
+        """Submit one phase of pairs and install results as they arrive."""
+        tasks: List[_WorkerTask] = []
+        for wl, req in pairs:
+            profile = None
+            if baselines is not None:
+                profile = baselines[
+                    (wl, ConfigRequest("NoCkpt", memory_seed=req.memory_seed))
+                ]
+            tasks.append(
+                (wl, req, self.machine, self.region_scale, self.reps, profile)
+            )
+        for wl, req, payload, seconds in pool.map(_worker_execute, tasks):
+            result = RunResult.from_dict(payload)
+            self.progress.record(wl, req.config, "worker", seconds)
+            self._store(wl, req, result)
 
     # -- derived metrics ------------------------------------------------------
     def time_overhead(self, workload: str, request: ConfigRequest) -> float:
         """Fractional time overhead of a configuration w.r.t. NoCkpt."""
-        return time_overhead(self.run(workload, request), self.baseline(workload))
+        return time_overhead(
+            self.run(workload, request),
+            self.baseline(workload, request.memory_seed),
+        )
 
     def energy_overhead(self, workload: str, request: ConfigRequest) -> float:
         """Fractional energy overhead of a configuration w.r.t. NoCkpt."""
-        return energy_overhead(self.run(workload, request), self.baseline(workload))
+        return energy_overhead(
+            self.run(workload, request),
+            self.baseline(workload, request.memory_seed),
+        )
 
     def workloads(self) -> List[str]:
         """All benchmark names."""

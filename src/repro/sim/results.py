@@ -10,8 +10,8 @@ plot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional
 
 from repro.compiler.embed import CompileStats
 from repro.energy.accounting import EnergyLedger
@@ -24,6 +24,26 @@ __all__ = [
     "time_overhead",
     "energy_overhead",
 ]
+
+
+def _dataclass_to_dict(obj: Any) -> Dict[str, Any]:
+    """Flat field mapping of a (non-nested) stats dataclass."""
+    return {f.name: getattr(obj, f.name) for f in fields(obj)}
+
+
+def _dataclass_from_dict(cls: type, data: Dict[str, Any]) -> Any:
+    """Strict inverse of :func:`_dataclass_to_dict`.
+
+    Unknown keys, missing keys and non-mapping input all raise — the
+    result cache relies on this to classify corrupt entries as misses.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"{cls.__name__}: expected a mapping, got {type(data)}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"{cls.__name__}: unknown fields {sorted(unknown)}")
+    return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -56,6 +76,16 @@ class IntervalStats:
     #: size a traditional full-snapshot checkpoint would have to copy.
     footprint_bytes: int = 0
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe field mapping."""
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "IntervalStats":
+        """Rebuild from :meth:`to_dict` output (strict: unknown or
+        missing fields raise, so corrupt cache entries are detected)."""
+        return _dataclass_from_dict(cls, data)
+
     @property
     def baseline_bytes(self) -> int:
         """What the baseline would have logged for this interval."""
@@ -85,6 +115,15 @@ class RecoveryStats:
     restored_records: int
     recomputed_values: int
     recompute_instructions: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe field mapping."""
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RecoveryStats":
+        """Rebuild from :meth:`to_dict` output (strict)."""
+        return _dataclass_from_dict(cls, data)
 
     @property
     def total_ns(self) -> float:
@@ -185,6 +224,91 @@ class RunResult:
     def recovery_time_ns(self) -> float:
         """Total recovery time (waste + rollback + recomputation)."""
         return sum(r.total_ns for r in self.recoveries)
+
+    # -- serialisation ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe mapping of everything the experiment harness consumes.
+
+        ``checkpoint_store`` — an in-memory object graph kept only for
+        post-run verification — is deliberately excluded; results rebuilt
+        by :meth:`from_dict` carry ``checkpoint_store=None``.
+        """
+        return {
+            "label": self.label,
+            "scheme": self.scheme,
+            "acr": self.acr,
+            "num_cores": self.num_cores,
+            "wall_ns": self.wall_ns,
+            "per_core_useful_ns": list(self.per_core_useful_ns),
+            "per_core_overhead_ns": list(self.per_core_overhead_ns),
+            "energy": self.energy.to_dict(),
+            "intervals": [iv.to_dict() for iv in self.intervals],
+            "recoveries": [r.to_dict() for r in self.recoveries],
+            "instructions": self.instructions,
+            "alu_ops": self.alu_ops,
+            "loads": self.loads,
+            "stores": self.stores,
+            "assoc_ops": self.assoc_ops,
+            "l1d_accesses": self.l1d_accesses,
+            "l2_accesses": self.l2_accesses,
+            "memory_accesses": self.memory_accesses,
+            "writebacks": self.writebacks,
+            "compile_stats": (
+                _dataclass_to_dict(self.compile_stats)
+                if self.compile_stats is not None
+                else None
+            ),
+            "addrmap_records": self.addrmap_records,
+            "addrmap_rejections": self.addrmap_rejections,
+            "omissions": self.omissions,
+            "omission_lookups": self.omission_lookups,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Strict: corrupt or schema-drifted mappings raise ``ValueError``/
+        ``TypeError``/``KeyError`` rather than producing a half-built
+        result, so cache readers can treat any exception as a miss.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"RunResult: expected a mapping, got {type(data)}")
+        data = dict(data)
+        try:
+            energy = EnergyLedger.from_dict(data.pop("energy"))
+            intervals = [IntervalStats.from_dict(d) for d in data.pop("intervals")]
+            recoveries = [
+                RecoveryStats.from_dict(d) for d in data.pop("recoveries")
+            ]
+            compile_raw = data.pop("compile_stats")
+        except AttributeError as exc:  # e.g. a list where a dict belongs
+            raise ValueError(f"RunResult: malformed nested payload: {exc}")
+        compile_stats = (
+            _dataclass_from_dict(CompileStats, compile_raw)
+            if compile_raw is not None
+            else None
+        )
+        result = _dataclass_from_dict(
+            cls,
+            dict(
+                data,
+                energy=energy,
+                intervals=intervals,
+                recoveries=recoveries,
+                compile_stats=compile_stats,
+            ),
+        )
+        return result
+
+    def equivalent(self, other: "RunResult") -> bool:
+        """Statistical equality: every serialised field matches.
+
+        This is the determinism contract between the serial and parallel
+        engines — it ignores only ``checkpoint_store`` (never shipped
+        across processes or to disk).
+        """
+        return self.to_dict() == other.to_dict()
 
     def describe(self) -> str:  # pragma: no cover - convenience output
         """One-line human summary."""

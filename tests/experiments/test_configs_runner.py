@@ -1,7 +1,11 @@
 """Tests for repro.experiments.configs and runner."""
 
+import dataclasses
+
 import pytest
 
+from repro.arch.config import MachineConfig
+from repro.experiments.cache import run_cache_key
 from repro.experiments.configs import CONFIG_NAMES, ConfigRequest, make_options
 from repro.experiments.runner import ExperimentRunner
 from repro.sim.results import BaselineProfile
@@ -51,6 +55,67 @@ class TestConfigRequest:
         a = ConfigRequest("Ckpt_NE", num_checkpoints=25)
         b = ConfigRequest("Ckpt_NE", num_checkpoints=25)
         assert a == b and hash(a) == hash(b)
+
+    def test_memory_seed_reaches_simulation_options(self):
+        opts = make_options(ConfigRequest("NoCkpt", memory_seed=7), None)
+        assert opts.memory_seed == 7
+        prof = BaselineProfile([100.0])
+        opts = make_options(
+            ConfigRequest("Ckpt_NE", memory_seed=7), prof
+        )
+        assert opts.memory_seed == 7
+
+    def test_negative_memory_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigRequest("Ckpt_NE", memory_seed=-1)
+
+
+class TestCacheKeyCompleteness:
+    """Audit: every ConfigRequest field (and every runner scale knob)
+    perturbs the persistent cache key — no two distinct runs may alias."""
+
+    MACHINE = MachineConfig(num_cores=2)
+    BASE = ConfigRequest("Ckpt_NE")
+
+    def _key(self, request=None, workload="bt", machine=None,
+             region_scale=0.5, reps=12):
+        return run_cache_key(
+            workload,
+            request if request is not None else self.BASE,
+            machine if machine is not None else self.MACHINE,
+            region_scale,
+            reps,
+        )
+
+    @pytest.mark.parametrize(
+        "field", [f.name for f in dataclasses.fields(ConfigRequest)]
+    )
+    def test_every_request_field_perturbs_the_key(self, field):
+        value = getattr(self.BASE, field)
+        new = "ReCkpt_E" if field == "config" else value + 1
+        other = dataclasses.replace(self.BASE, **{field: new})
+        assert other != self.BASE
+        assert other.canonical_key() != self.BASE.canonical_key()
+        assert self._key(request=other) != self._key()
+
+    def test_canonical_key_covers_every_field(self):
+        names = {name for name, _ in self.BASE.canonical_key()}
+        assert names == {f.name for f in dataclasses.fields(ConfigRequest)}
+
+    def test_environment_knobs_perturb_the_key(self):
+        base = self._key()
+        assert self._key(workload="is") != base
+        assert self._key(region_scale=0.25) != base
+        assert self._key(reps=13) != base
+        assert self._key(reps=None) != base
+        assert self._key(machine=MachineConfig(num_cores=4)) != base
+        assert (
+            self._key(machine=MachineConfig(num_cores=2, mem_latency_ns=121.0))
+            != base
+        )
+
+    def test_key_is_stable_for_equal_inputs(self):
+        assert self._key() == self._key(request=ConfigRequest("Ckpt_NE"))
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,112 @@
+"""Determinism and cache behaviour of the parallel experiment engine.
+
+The contract: ``jobs > 1`` only changes *where* simulations execute,
+never *what* they produce — parallel results are field-for-field equal
+to the serial path — and a second pass over the same matrix is served
+entirely from the persistent on-disk cache.
+"""
+
+import pytest
+
+from repro.experiments.configs import ConfigRequest
+from repro.experiments.runner import ExperimentRunner
+
+SCALE = dict(num_cores=2, region_scale=0.1, reps=12)
+
+#: A small workload × configuration matrix covering the baseline, a plain
+#: checkpointed run, an ACR run with errors, and a local-scheme run.
+MATRIX = [
+    (wl, ConfigRequest(cfg, num_checkpoints=6))
+    for wl in ("bt", "is")
+    for cfg in ("NoCkpt", "Ckpt_NE", "ReCkpt_E", "Ckpt_NE_Loc")
+]
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    runner = ExperimentRunner(**SCALE)
+    return runner.run_many(MATRIX)
+
+
+@pytest.fixture(scope="module")
+def warm_cache_dir(tmp_path_factory, serial_results):
+    """A cache directory pre-populated by a parallel first pass (also the
+    determinism assertion: parallel == serial, field for field)."""
+    cache_dir = tmp_path_factory.mktemp("result-cache")
+    runner = ExperimentRunner(jobs=4, cache_dir=cache_dir, **SCALE)
+    parallel = runner.run_many(MATRIX)
+    for (wl, req), serial, par in zip(MATRIX, serial_results, parallel):
+        assert par.equivalent(serial), f"parallel diverged on {wl}/{req.config}"
+    # Everything pending was executed by pool workers, nothing inline.
+    assert runner.progress.by_source()["sim"] == 0
+    assert runner.progress.by_source()["worker"] > 0
+    return cache_dir
+
+
+class TestParallelDeterminism:
+    def test_parallel_equals_serial(self, warm_cache_dir):
+        """Creating the fixture runs the jobs=4 vs serial comparison."""
+        assert warm_cache_dir.exists()
+
+    def test_parallel_results_memoised_in_order(self, serial_results):
+        runner = ExperimentRunner(jobs=4, **SCALE)
+        first = runner.run_many(MATRIX)
+        again = runner.run_many(MATRIX)
+        assert [a is b for a, b in zip(first, again)] == [True] * len(MATRIX)
+
+    def test_explicit_jobs_override(self, serial_results):
+        runner = ExperimentRunner(**SCALE)  # jobs defaults to 1
+        results = runner.run_many(MATRIX[:2], jobs=2)
+        for serial, par in zip(serial_results[:2], results):
+            assert par.equivalent(serial)
+
+
+class TestPersistentCache:
+    def test_second_run_served_entirely_from_cache(
+        self, warm_cache_dir, serial_results
+    ):
+        runner = ExperimentRunner(jobs=4, cache_dir=warm_cache_dir, **SCALE)
+        results = runner.run_many(MATRIX)
+        assert runner.progress.simulated == 0, "warm pass must not simulate"
+        assert runner.progress.disk_misses == 0
+        assert runner.progress.disk_hits == len(MATRIX)
+        assert runner.progress.hit_rate == 1.0  # the ≥95% criterion, exactly
+        for serial, cached in zip(serial_results, results):
+            assert cached.equivalent(serial)
+
+    def test_serial_warm_run_also_hits(self, warm_cache_dir, serial_results):
+        runner = ExperimentRunner(cache_dir=warm_cache_dir, **SCALE)
+        result = runner.run("bt", MATRIX[1][1])
+        assert runner.progress.disk_hits == 1
+        assert runner.progress.simulated == 0
+        assert result.equivalent(serial_results[1])
+
+    def test_cached_results_lack_checkpoint_store(self, warm_cache_dir):
+        runner = ExperimentRunner(cache_dir=warm_cache_dir, **SCALE)
+        result = runner.run("bt", MATRIX[1][1])
+        assert result.checkpoint_store is None
+
+    def test_scale_change_misses(self, warm_cache_dir):
+        runner = ExperimentRunner(
+            num_cores=2, region_scale=0.1, reps=10,  # reps differ
+            cache_dir=warm_cache_dir,
+        )
+        runner.run("bt", MATRIX[1][1])
+        assert runner.progress.disk_hits == 0
+        assert runner.progress.disk_misses >= 1
+
+    def test_progress_summary_renders(self, warm_cache_dir):
+        runner = ExperimentRunner(jobs=2, cache_dir=warm_cache_dir, **SCALE)
+        runner.run_many(MATRIX)
+        table = runner.progress.summary_table()
+        assert "disk" in table and "hits" in table
+        assert "100.0%" in table
+
+
+class TestBaselineSeedPropagation:
+    def test_dependent_run_uses_matching_baseline_seed(self):
+        runner = ExperimentRunner(**SCALE)
+        runner.run("bt", ConfigRequest("Ckpt_NE", num_checkpoints=6,
+                                       memory_seed=3))
+        memo_keys = list(runner._results)
+        assert ("bt", ConfigRequest("NoCkpt", memory_seed=3)) in memo_keys

@@ -6,6 +6,17 @@ from repro.cli import build_parser, main
 
 SMALL = ["--scale", "0.1", "--cores", "2", "--reps", "10"]
 
+TINY_WORKLOADS = ["bt", "is"]
+
+
+@pytest.fixture()
+def tiny_registry(monkeypatch):
+    """Restrict report generation to two benchmarks (speed)."""
+    monkeypatch.setattr(
+        "repro.experiments.runner.all_workload_names",
+        lambda: list(TINY_WORKLOADS),
+    )
+
 
 class TestParser:
     def test_requires_command(self):
@@ -47,3 +58,83 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "full snapshots would" in out
         assert "level-2 drain" in out
+
+
+class TestJobsAndCacheFlags:
+    def test_every_subcommand_accepts_jobs_and_cache_dir(self, tmp_path):
+        parser = build_parser()
+        for argv in (
+            ["report", "--jobs", "4", "--cache-dir", str(tmp_path)],
+            ["run", "bt", "Ckpt_NE", "--jobs", "2", "--cache-dir", "c"],
+            ["compare", "is", "--jobs", "2"],
+            ["baselines", "bt", "--cache-dir", "c"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.jobs >= 1
+            assert hasattr(args, "cache_dir")
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "four"])
+    def test_non_positive_jobs_rejected_cleanly(self, bad, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "bt", "Ckpt_NE", "--jobs", bad] + SMALL)
+        assert exc.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_cache_dir_colliding_with_file_errors_cleanly(
+        self, tmp_path, capsys
+    ):
+        blocker = tmp_path / "notadir"
+        blocker.write_text("")
+        code = main(
+            ["run", "bt", "Ckpt_NE", "--cache-dir", str(blocker)] + SMALL
+        )
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_run_with_cache_dir_is_deterministic_across_invocations(
+        self, tmp_path, capsys
+    ):
+        argv = ["run", "bt", "ReCkpt_E", "--checkpoints", "5",
+                "--cache-dir", str(tmp_path / "cache")] + SMALL
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert len(list((tmp_path / "cache").glob("*/*.json"))) >= 2
+        assert main(argv) == 0  # second invocation: served from disk
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_compare_with_jobs_matches_serial(self, capsys):
+        assert main(["compare", "is"] + SMALL) == 0
+        serial = capsys.readouterr().out
+        assert main(["compare", "is", "--jobs", "2"] + SMALL) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+
+class TestReportCommand:
+    def test_report_end_to_end_serial_vs_parallel_identical(
+        self, tmp_path, tiny_registry, capsys
+    ):
+        tiny = ["--scale", "0.1", "--cores", "2", "--reps", "12"]
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        assert main(["report", "--out", str(serial_dir)] + tiny) == 0
+        capsys.readouterr()
+        assert main(
+            ["report", "--out", str(parallel_dir), "--jobs", "2",
+             "--cache-dir", str(tmp_path / "cache")] + tiny
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run summary" in out
+
+        names = sorted(p.name for p in serial_dir.glob("*.txt"))
+        assert names == sorted(p.name for p in parallel_dir.glob("*.txt"))
+        assert "fig06_time_overhead.txt" in names
+        assert "table2_threshold.txt" in names
+        for name in names:
+            if name == "run_summary.txt":  # timings legitimately differ
+                continue
+            assert (
+                (serial_dir / name).read_text()
+                == (parallel_dir / name).read_text()
+            ), f"{name} differs between serial and parallel report"
