@@ -17,8 +17,9 @@ Layers (bottom-up): :mod:`repro.isa` (IR + interpreter),
 :mod:`repro.arch` (Table-I machine models), :mod:`repro.energy`,
 :mod:`repro.errors`, :mod:`repro.ckpt` (incremental logging BER),
 :mod:`repro.acr` (the paper's contribution), :mod:`repro.sim` (the run
-loop), :mod:`repro.workloads` (NAS-like generators) and
-:mod:`repro.experiments` (figure/table regeneration).
+loop), :mod:`repro.workloads` (NAS-like generators),
+:mod:`repro.experiments` (figure/table regeneration) and
+:mod:`repro.verify` (slice soundness lints + differential oracle).
 """
 
 from repro.analysis import (
@@ -74,6 +75,13 @@ from repro.sim import (
     energy_overhead,
     time_overhead,
 )
+from repro.verify import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    SliceVerificationError,
+    verify_program,
+)
 from repro.workloads import (
     NAS_BENCHMARKS,
     WorkloadSpec,
@@ -125,6 +133,12 @@ __all__ = [
     "BaselineProfile",
     "time_overhead",
     "energy_overhead",
+    # verify
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "SliceVerificationError",
+    "verify_program",
     # workloads
     "WorkloadSpec",
     "NAS_BENCHMARKS",

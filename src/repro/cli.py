@@ -8,6 +8,9 @@ Installed as ``acr-repro`` (or run with ``python -m repro.cli``):
 * ``acr-repro compare bt``        — all nine configurations side by side;
 * ``acr-repro slices bt``         — compiler-pass statistics and the
   slice-length histogram of a benchmark;
+* ``acr-repro lint bt``           — slice soundness verification: static
+  rules ``ACR001``–``ACR007`` plus the differential recompute oracle,
+  with ``--select``/``--ignore`` filters and ``--format json``;
 * ``acr-repro baselines bt``      — full-snapshot and hierarchical
   what-if cost models over the checkpointed run.
 """
@@ -15,6 +18,7 @@ Installed as ``acr-repro`` (or run with ``python -m repro.cli``):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -31,9 +35,12 @@ from repro.analysis.decomposition import (
 )
 from repro.compiler.embed import compile_program
 from repro.compiler.policy import ThresholdPolicy
-from repro.experiments.configs import CONFIG_NAMES, ConfigRequest
+from repro.experiments.configs import CONFIG_NAMES
 from repro.experiments.runner import ExperimentRunner
 from repro.util.tables import format_table
+from repro.verify.engine import select_rules, verify_program
+from repro.verify.oracle import ORACLE_RULE_ID, ORACLE_RULE_SLUG
+from repro.verify.rules import RULES
 from repro.workloads.registry import all_workload_names, get_workload
 
 __all__ = ["main"]
@@ -47,6 +54,13 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _rule_list(text: str) -> List[str]:
+    parts = [p.strip() for p in text.split(",") if p.strip()]
+    if not parts:
+        raise argparse.ArgumentTypeError("expected comma-separated rule ids")
+    return parts
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -130,7 +144,8 @@ def cmd_compare(args) -> int:
 def cmd_slices(args) -> int:
     spec = get_workload(args.benchmark)
     program = spec.build_programs(1, region_scale=args.scale, reps=args.reps)[0]
-    cp = compile_program(program, ThresholdPolicy(args.threshold))
+    policy = ThresholdPolicy(args.threshold)
+    cp = compile_program(program, policy)
     s = cp.stats
     print(f"{args.benchmark}: threshold {args.threshold} "
           f"(default {spec.default_threshold})")
@@ -148,6 +163,16 @@ def cmd_slices(args) -> int:
             ],
         )
     )
+    print(
+        format_table(
+            ["rejection reason", "sites"],
+            [
+                [reason.value, count]
+                for reason, count in s.rejection_counts().items()
+            ],
+            title="slice rejections by reason",
+        )
+    )
     hist = cp.slices.length_histogram()
     print(
         format_table(
@@ -156,7 +181,74 @@ def cmd_slices(args) -> int:
             title="embedded slice-length histogram",
         )
     )
+    report = verify_program(cp, policy=policy, oracle=False)
+    print(report.summary_line())
     return 0
+
+
+def _lint_one(benchmark: str, args):
+    """Compile one benchmark and lint it; returns (report, stats)."""
+    spec = get_workload(benchmark)
+    threshold = (
+        args.threshold if args.threshold is not None
+        else spec.default_threshold
+    )
+    program = spec.build_programs(1, region_scale=args.scale, reps=args.reps)[0]
+    policy = ThresholdPolicy(threshold)
+    cp = compile_program(program, policy)
+    report = verify_program(
+        cp,
+        policy=policy,
+        select=args.select,
+        ignore=args.ignore,
+        oracle=not args.no_oracle,
+        oracle_samples=args.oracle_samples,
+    )
+    return report, cp.stats
+
+
+def cmd_lint(args) -> int:
+    if args.list_rules:
+        rows = [
+            [r.rule_id, r.slug, r.severity.value, r.summary]
+            for r in RULES.values()
+        ]
+        rows.append([
+            ORACLE_RULE_ID, ORACLE_RULE_SLUG, "error",
+            "differential oracle: recompute(snapshot) == stored value",
+        ])
+        print(format_table(["rule", "slug", "severity", "invariant"], rows))
+        return 0
+    # Validate filters once up front (typos must not pass silently).
+    select_rules(args.select, args.ignore)
+    benchmarks = (
+        all_workload_names() if args.all
+        else [args.benchmark] if args.benchmark
+        else None
+    )
+    if benchmarks is None:
+        print("acr-repro: error: lint needs a benchmark or --all",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    payload = []
+    for benchmark in benchmarks:
+        report, stats = _lint_one(benchmark, args)
+        failed = failed or not report.ok
+        if args.format == "json":
+            doc = report.to_json_dict()
+            doc["benchmark"] = benchmark
+            doc["sites_embedded"] = stats.sites_embedded
+            payload.append(doc)
+        elif report.findings:
+            print(f"{benchmark}:")
+            print(report.render())
+        else:
+            print(f"{benchmark}: {report.summary_line()}")
+    if args.format == "json":
+        print(json.dumps(payload if args.all else payload[0], indent=2))
+    return 1 if failed else 0
 
 
 def cmd_baselines(args) -> int:
@@ -207,6 +299,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=int, default=10)
     _add_common(p)
     p.set_defaults(func=cmd_slices)
+
+    p = sub.add_parser(
+        "lint",
+        help="slice soundness verification (exit 1 on error findings)",
+    )
+    p.add_argument("benchmark", nargs="?", choices=all_workload_names(),
+                   help="benchmark to verify (or use --all)")
+    p.add_argument("--all", action="store_true",
+                   help="verify every registered workload")
+    p.add_argument("--threshold", type=int, default=None,
+                   help="slice-length threshold (default: the workload's)")
+    p.add_argument("--select", type=_rule_list, default=None,
+                   metavar="RULES",
+                   help="comma-separated rule-id prefixes to run "
+                        "(e.g. ACR001,ACR003)")
+    p.add_argument("--ignore", type=_rule_list, default=None,
+                   metavar="RULES",
+                   help="comma-separated rule-id prefixes to skip")
+    p.add_argument("--format", choices=["table", "json"], default="table")
+    p.add_argument("--no-oracle", action="store_true",
+                   help="skip the differential recompute oracle (ACR008)")
+    p.add_argument("--oracle-samples", type=_positive_int, default=3,
+                   help="dynamic stores replayed per covered site")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule registry and exit")
+    p.add_argument("--scale", type=float, default=0.5,
+                   help="workload region scale (1.0 = full fidelity)")
+    p.add_argument("--reps", type=int, default=None)
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("baselines", help="what-if checkpointing baselines")
     p.add_argument("benchmark", choices=all_workload_names())

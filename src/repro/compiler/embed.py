@@ -41,6 +41,13 @@ class CompileStats:
             return 0.0
         return self.sites_embedded / self.sites_total
 
+    def rejection_counts(self) -> "dict[SliceRejection, int]":
+        """Per-:class:`SliceRejection` reason counts (CLI statistics)."""
+        return {
+            SliceRejection.LOOP_CARRIED: self.sites_loop_carried,
+            SliceRejection.TRIVIAL: self.sites_trivial,
+        }
+
 
 @dataclass(frozen=True)
 class CompiledProgram:
@@ -56,12 +63,21 @@ class CompiledProgram:
 
 
 def compile_program(
-    program: Program, policy: SelectionPolicy | None = None
+    program: Program,
+    policy: SelectionPolicy | None = None,
+    *,
+    verify: bool = False,
 ) -> CompiledProgram:
     """Run the ACR compiler pass over ``program``.
 
     With ``policy=None`` the paper's default greedy threshold of 10 is
     used.  Returns a new :class:`CompiledProgram`; the input is untouched.
+
+    With ``verify=True`` the slice soundness verifier
+    (:func:`repro.verify.verify_program`) runs as a post-pass over the
+    static rules (the differential oracle is left to ``repro lint``) and
+    a :class:`repro.verify.SliceVerificationError` is raised on any
+    error-severity finding.
     """
     if policy is None:
         policy = ThresholdPolicy()
@@ -114,4 +130,12 @@ def compile_program(
         sites_trivial=trivial,
         embedded_bytes=table.encoded_bytes,
     )
-    return CompiledProgram(rewritten, table, stats)
+    compiled = CompiledProgram(rewritten, table, stats)
+    if verify:
+        # Imported here: repro.verify sits above the compiler layer.
+        from repro.verify.engine import SliceVerificationError, verify_program
+
+        report = verify_program(compiled, policy=policy, oracle=False)
+        if not report.ok:
+            raise SliceVerificationError(report)
+    return compiled

@@ -46,6 +46,36 @@ class Slice:
     frontier: Tuple[int, ...]
     result_reg: int
 
+    def __post_init__(self) -> None:
+        """Reject malformed slices at construction time.
+
+        A slice that would only fail inside :meth:`execute` fails during
+        *recovery* — the one moment correctness matters most — so the
+        checks run when the slice is built instead.
+        """
+        for pos, ins in enumerate(self.instructions):
+            if not isinstance(ins, (AluInstr, MoviInstr)):
+                raise ValueError(
+                    f"slice for site {self.site}: instruction {pos} is "
+                    f"{type(ins).__name__}, not MOVI/ALU"
+                )
+        if len(set(self.frontier)) != len(self.frontier):
+            dupes = sorted(
+                {r for r in self.frontier if self.frontier.count(r) > 1}
+            )
+            raise ValueError(
+                f"slice for site {self.site}: duplicate frontier "
+                f"register(s) {dupes}"
+            )
+        defined = set(self.frontier)
+        for ins in self.instructions:
+            defined.add(ins.dst)
+        if self.result_reg not in defined:
+            raise ValueError(
+                f"slice for site {self.site}: result register "
+                f"{self.result_reg} is never defined"
+            )
+
     @property
     def length(self) -> int:
         """Instruction count — the paper's Slice-length metric."""

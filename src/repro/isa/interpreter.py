@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.isa.instructions import AluInstr, LoadInstr, MoviInstr, StoreInstr
+from repro.isa.instructions import AluInstr, LoadInstr, MoviInstr
 from repro.isa.opcodes import MASK64
 from repro.isa.program import Program
 

@@ -1,0 +1,51 @@
+"""Slice soundness verifier: static analysis over compiled programs.
+
+ACR's safety argument rests on a compiler invariant — every store whose
+old-value logging is omitted carries a Slice that is pure, short,
+frontier-complete and recomputes exactly the value that would have been
+logged.  This package *proves* that invariant per compiled binary instead
+of assuming it:
+
+* :mod:`repro.verify.dataflow` — reaching definitions / def-use chains
+  over kernel bodies (on top of the compiler's dependence graph);
+* :mod:`repro.verify.rules` — the rule registry (``ACR001``–``ACR007``)
+  with stable ids and severities;
+* :mod:`repro.verify.oracle` — the differential recompute oracle
+  (``ACR008``): replays every embedded slice against the interpreter;
+* :mod:`repro.verify.engine` — rule selection and the
+  ``compile_program(verify=True)`` post-pass;
+* :mod:`repro.verify.mutations` — a defect-seeding corpus that proves
+  each rule fires on its defect class and nothing else.
+
+Surfaced as ``acr-repro lint`` on the command line.
+"""
+
+from repro.verify.dataflow import KernelDataflow
+from repro.verify.diagnostics import Diagnostic, LintReport, Severity
+from repro.verify.engine import (
+    ALL_RULE_IDS,
+    SliceVerificationError,
+    select_rules,
+    verify_program,
+)
+from repro.verify.mutations import DEFECT_RULE_IDS, seed_defect
+from repro.verify.oracle import OracleResult, run_differential_oracle
+from repro.verify.rules import RULES, VerifyContext, slice_required_inputs
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "DEFECT_RULE_IDS",
+    "Diagnostic",
+    "KernelDataflow",
+    "LintReport",
+    "OracleResult",
+    "RULES",
+    "Severity",
+    "SliceVerificationError",
+    "VerifyContext",
+    "run_differential_oracle",
+    "seed_defect",
+    "select_rules",
+    "slice_required_inputs",
+    "verify_program",
+]

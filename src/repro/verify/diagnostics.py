@@ -1,0 +1,177 @@
+"""Structured lint findings and reports.
+
+A :class:`Diagnostic` is one finding of the slice soundness verifier: a
+stable rule id (``ACR001`` ...), a severity, the store site and program
+location it anchors to, and a human-readable message.  A
+:class:`LintReport` aggregates the findings of one verification run and
+renders them either as an aligned human table or as a machine-readable
+JSON document (``repro lint --format json``).
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.util.tables import format_table
+
+__all__ = ["Severity", "Diagnostic", "LintReport"]
+
+
+@functools.total_ordering
+class Severity(enum.Enum):
+    """Finding severity; orders ``INFO < WARNING < ERROR``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank used for ordering and exit-code decisions."""
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+    def __lt__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank < other.rank
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule id, e.g. ``"ACR001"``.
+    slug:
+        Short rule name, e.g. ``"slice-impure"``.
+    severity:
+        Finding severity.
+    message:
+        Human-readable description of the defect.
+    site:
+        Store-site id the finding anchors to (``None`` for program-level
+        findings).
+    location:
+        Program location string, e.g. ``"kernel 'bt/s3/r0' instr 4"``.
+    """
+
+    rule: str
+    slug: str
+    severity: Severity
+    message: str
+    site: Optional[int] = None
+    location: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form of the finding."""
+        return {
+            "rule": self.rule,
+            "slug": self.slug,
+            "severity": self.severity.value,
+            "message": self.message,
+            "site": self.site,
+            "location": self.location,
+        }
+
+    def render(self) -> str:
+        """One-line human rendering."""
+        where = f" site {self.site}" if self.site is not None else ""
+        return f"{self.rule} [{self.severity.value}]{where}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """All findings of one verification run, plus coverage counters."""
+
+    findings: List[Diagnostic] = field(default_factory=list)
+    #: Embedded slices inspected by the static rules.
+    slices_checked: int = 0
+    #: Slice recomputations replayed by the differential oracle.
+    oracle_values_checked: int = 0
+    #: Sites the oracle skipped because static errors made replay moot.
+    oracle_sites_skipped: int = 0
+
+    def extend(self, diagnostics: Sequence[Diagnostic]) -> None:
+        """Append findings (engine-internal)."""
+        self.findings.extend(diagnostics)
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        """Error-severity findings (drive the non-zero exit code)."""
+        return [d for d in self.findings if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        """Warning-severity findings."""
+        return [d for d in self.findings if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was produced."""
+        return not self.errors
+
+    def rule_ids(self) -> List[str]:
+        """Distinct rule ids that fired, sorted."""
+        return sorted({d.rule for d in self.findings})
+
+    def count_by_rule(self) -> Dict[str, int]:
+        """Map rule id -> number of findings."""
+        counts: Dict[str, int] = {}
+        for d in self.findings:
+            counts[d.rule] = counts.get(d.rule, 0) + 1
+        return counts
+
+    # -- output --------------------------------------------------------------
+    def summary_line(self) -> str:
+        """One-line summary, suitable under a stats table."""
+        return (
+            f"lint: {len(self.findings)} finding(s) "
+            f"({len(self.errors)} errors, {len(self.warnings)} warnings) "
+            f"across {self.slices_checked} slice(s), "
+            f"{self.oracle_values_checked} value(s) replayed"
+        )
+
+    def render(self) -> str:
+        """Human-readable report: findings table + summary line."""
+        if not self.findings:
+            return self.summary_line()
+        ordered = sorted(
+            self.findings,
+            key=lambda d: (-d.severity.rank, d.rule, d.site if d.site is not None else -1),
+        )
+        table = format_table(
+            ["rule", "severity", "site", "location", "message"],
+            [
+                [
+                    d.rule,
+                    d.severity.value,
+                    "-" if d.site is None else d.site,
+                    d.location or "-",
+                    d.message,
+                ]
+                for d in ordered
+            ],
+        )
+        return f"{table}\n{self.summary_line()}"
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Machine-readable form (``repro lint --format json``)."""
+        return {
+            "findings": [d.to_dict() for d in self.findings],
+            "summary": {
+                "total": len(self.findings),
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "by_rule": self.count_by_rule(),
+                "slices_checked": self.slices_checked,
+                "oracle_values_checked": self.oracle_values_checked,
+                "oracle_sites_skipped": self.oracle_sites_skipped,
+                "ok": self.ok,
+            },
+        }

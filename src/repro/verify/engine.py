@@ -1,0 +1,133 @@
+"""The lint engine: rule selection, execution, and the compile post-pass.
+
+:func:`verify_program` is the single entry point: it runs the selected
+static rules (``ACR001``–``ACR007``) over a compiled program, then — when
+enabled — the differential recompute oracle (``ACR008``), skipping sites
+whose static errors already make replay meaningless, and returns a
+:class:`~repro.verify.diagnostics.LintReport`.
+
+``compile_program(..., verify=True)`` calls this and raises
+:class:`SliceVerificationError` on error-severity findings, turning the
+paper's implicit compiler invariant into an enforced post-condition.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence
+
+from repro.arch.config import MachineConfig
+from repro.compiler.embed import CompiledProgram
+from repro.verify.diagnostics import LintReport
+from repro.verify.oracle import ORACLE_RULE_ID, run_differential_oracle
+from repro.verify.rules import RULES, VerifyContext, run_static_rules
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "SliceVerificationError",
+    "select_rules",
+    "verify_program",
+]
+
+#: Every rule id the engine knows, static rules first, oracle last.
+ALL_RULE_IDS = tuple(RULES) + (ORACLE_RULE_ID,)
+
+
+class SliceVerificationError(ValueError):
+    """Raised by ``compile_program(verify=True)`` on error findings."""
+
+    def __init__(self, report: LintReport) -> None:
+        self.report = report
+        errors = report.errors
+        head = "; ".join(d.render() for d in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(
+            f"slice verification failed with {len(errors)} error(s): "
+            f"{head}{more}"
+        )
+
+
+def _matches(rule_id: str, patterns: Sequence[str]) -> bool:
+    """True when any pattern is a case-insensitive prefix of ``rule_id``."""
+    rid = rule_id.upper()
+    return any(rid.startswith(p.strip().upper()) for p in patterns if p.strip())
+
+
+def select_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Resolve ``--select`` / ``--ignore`` patterns to concrete rule ids.
+
+    Patterns match by prefix (``ACR00``, ``acr003``).  Unknown patterns
+    raise ``ValueError`` so typos do not silently disable verification.
+    """
+    for patterns in (select, ignore):
+        for p in patterns or ():
+            if p.strip() and not any(_matches(r, [p]) for r in ALL_RULE_IDS):
+                raise ValueError(
+                    f"unknown rule pattern {p!r}; known rules: "
+                    f"{', '.join(ALL_RULE_IDS)}"
+                )
+    chosen = [
+        r for r in ALL_RULE_IDS if select is None or _matches(r, select)
+    ]
+    if ignore is not None:
+        chosen = [r for r in chosen if not _matches(r, ignore)]
+    return chosen
+
+
+def verify_program(
+    compiled: CompiledProgram,
+    *,
+    policy: Optional[object] = None,
+    operand_capacity: Optional[int] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    oracle: bool = True,
+    oracle_seeds: Sequence[int] = (0, 1),
+    oracle_samples: int = 3,
+) -> LintReport:
+    """Verify one compiled program; returns the full report.
+
+    Parameters
+    ----------
+    policy:
+        The selection policy the embedding ran with (enables ACR005).
+    operand_capacity:
+        Operand-buffer word budget (default: the Table-I machine's).
+    select, ignore:
+        Rule-id prefix filters, ruff-style.
+    oracle, oracle_seeds, oracle_samples:
+        Differential-replay controls.  Sites carrying static error
+        findings are excluded from replay — their recomputation is
+        already known to be unsound.
+    """
+    if operand_capacity is None:
+        operand_capacity = MachineConfig().operand_buffer_capacity
+    rule_ids = select_rules(select, ignore)
+
+    ctx = VerifyContext(
+        program=compiled.program,
+        slices=compiled.slices,
+        policy=policy,
+        operand_capacity=operand_capacity,
+    )
+    report = LintReport(slices_checked=len(compiled.slices))
+    static_ids = [r for r in rule_ids if r in RULES]
+    report.extend(run_static_rules(ctx, static_ids))
+
+    if oracle and ORACLE_RULE_ID in rule_ids:
+        bad_sites: FrozenSet[int] = frozenset(
+            d.site for d in report.errors if d.site is not None
+        )
+        result = run_differential_oracle(
+            compiled.program,
+            compiled.slices,
+            seeds=oracle_seeds,
+            samples_per_site=oracle_samples,
+            skip_sites=bad_sites,
+        )
+        report.extend(result.findings)
+        report.oracle_values_checked = result.values_checked
+        report.oracle_sites_skipped = result.sites_skipped
+    return report

@@ -1,0 +1,125 @@
+"""Differential recompute oracle (rule ``ACR008 recompute-divergence``).
+
+The static rules prove structural soundness; the oracle proves *semantic*
+soundness: it replays the compiled program through
+:mod:`repro.isa.interpreter` over seeded memory images, and at every
+dynamic store covered by an embedded slice it captures the frontier-operand
+snapshot exactly the way the ACR checkpoint handler does (``regs[r] for r
+in slice.frontier``), executes the slice on it, and checks that the
+recomputed value equals the value the store wrote — the value whose
+logging would be omitted at the next interval's first modification.
+
+Divergence means a recovery would silently write back a corrupted value,
+so every mismatch is an error-severity finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.compiler.slices import SliceTable
+from repro.isa.interpreter import Interpreter, MemoryImage, StoreEvent
+from repro.isa.program import Program
+from repro.verify.diagnostics import Diagnostic, Severity
+
+__all__ = ["OracleResult", "run_differential_oracle"]
+
+#: Rule identity of oracle findings (registered prose lives in rules.py).
+ORACLE_RULE_ID = "ACR008"
+ORACLE_RULE_SLUG = "recompute-divergence"
+
+#: Iterations interpreted per chunk while sampling.
+_CHUNK = 1024
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Outcome of one oracle run."""
+
+    findings: Tuple[Diagnostic, ...]
+    #: Dynamic (site, seed) recomputations checked.
+    values_checked: int
+    #: Sites excluded up front (static errors make replay meaningless).
+    sites_skipped: int
+
+    @property
+    def ok(self) -> bool:
+        """True when every replayed recomputation matched."""
+        return not self.findings
+
+
+def run_differential_oracle(
+    program: Program,
+    slices: SliceTable,
+    *,
+    seeds: Sequence[int] = (0, 1),
+    samples_per_site: int = 3,
+    skip_sites: FrozenSet[int] = frozenset(),
+) -> OracleResult:
+    """Replay every embedded slice against the interpreter.
+
+    For each memory seed the compiled program runs until every covered
+    site (minus ``skip_sites``) has been checked ``samples_per_site``
+    times, or the program completes.  A site stops being sampled after its
+    first divergence so a broken slice yields one finding per seed, not
+    one per dynamic store.
+    """
+    findings: List[Diagnostic] = []
+    values_checked = 0
+    target_sites = [s for s in slices.sites if s not in skip_sites]
+
+    for seed in seeds:
+        remaining: Dict[int, int] = {s: samples_per_site for s in target_sites}
+        if not remaining:
+            break
+
+        def on_store(ev: StoreEvent, _seed: int = seed, _rem: Dict[int, int] = remaining) -> None:
+            nonlocal values_checked
+            want = _rem.get(ev.site, 0)
+            if want <= 0:
+                return
+            sl = slices.get(ev.site)
+            assert sl is not None  # sites come from the table
+            problem: str | None = None
+            try:
+                operands = tuple(ev.regs[r] for r in sl.frontier)
+            except IndexError:
+                problem = (
+                    f"frontier register(s) {sorted(sl.frontier)} exceed the "
+                    f"kernel's register file — no snapshot can be captured"
+                )
+            else:
+                try:
+                    recomputed = sl.execute(operands)
+                except (ValueError, TypeError) as exc:
+                    problem = f"slice execution failed: {exc}"
+                else:
+                    values_checked += 1
+                    if recomputed != ev.new_value:
+                        problem = (
+                            f"recompute(snapshot) = {recomputed:#x} but the "
+                            f"store wrote {ev.new_value:#x} "
+                            f"(memory seed {_seed}, iteration {ev.iteration})"
+                        )
+            if problem is None:
+                _rem[ev.site] = want - 1
+            else:
+                findings.append(
+                    Diagnostic(
+                        ORACLE_RULE_ID,
+                        ORACLE_RULE_SLUG,
+                        Severity.ERROR,
+                        problem,
+                        ev.site,
+                    )
+                )
+                _rem[ev.site] = 0  # one finding per (site, seed)
+
+        interp = Interpreter(program, MemoryImage(seed), on_store=on_store)
+        while not interp.done:
+            interp.step_iterations(_CHUNK)
+            if not any(remaining.values()):
+                break
+
+    return OracleResult(tuple(findings), values_checked, len(skip_sites))

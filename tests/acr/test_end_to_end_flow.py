@@ -13,7 +13,7 @@ from the log -> consistent state.
 
 import pytest
 
-from repro.acr.handlers import AcrCheckpointHandler, AcrRecoveryHandler, AssocOutcome
+from repro.acr.handlers import AcrCheckpointHandler, AcrRecoveryHandler
 from repro.arch.config import MachineConfig
 from repro.arch.directory import Directory
 from repro.ckpt.checkpoint import CheckpointStore

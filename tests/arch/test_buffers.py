@@ -1,7 +1,5 @@
 """Tests for repro.arch.buffers (AddrMap generations and tombstones)."""
 
-import pytest
-
 from repro.arch.buffers import AddrMap, AddrMapEntry, OperandBuffer
 from repro.compiler.slices import Slice
 from repro.isa.instructions import AluInstr, MoviInstr

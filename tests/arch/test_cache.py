@@ -1,6 +1,5 @@
 """Tests for repro.arch.cache."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.arch.cache import SetAssociativeCache

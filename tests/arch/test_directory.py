@@ -1,7 +1,5 @@
 """Tests for repro.arch.directory."""
 
-import pytest
-
 from repro.arch.directory import Directory
 
 

@@ -16,7 +16,9 @@ INPUT = AddressPattern(4096, 1, 8)
 
 def slice_of_length(n, frontier=1):
     instrs = tuple(MoviInstr(i, i) for i in range(n))
-    return Slice(0, instrs, tuple(range(100, 100 + frontier)), n - 1 if n else 0)
+    # A zero-length slice is a plain copy of its first operand.
+    result = n - 1 if n else 100
+    return Slice(0, instrs, tuple(range(100, 100 + frontier)), result)
 
 
 class TestThresholdPolicy:

@@ -8,7 +8,6 @@ executing the extracted Slice on the frontier-operand snapshot reproduces
 the interpreter's stored value bit-for-bit.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler.ddg import DataDependenceGraph

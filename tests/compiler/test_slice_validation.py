@@ -1,0 +1,71 @@
+"""Construction-time Slice validation (the verifier's first line).
+
+A Slice that cannot possibly replay — impure body, duplicate frontier
+slots, undefined result register — must fail at construction, not at
+recovery time inside ``execute``.
+"""
+
+import pytest
+
+from repro.compiler.slices import Slice
+from repro.isa.instructions import (
+    AddressPattern,
+    AluInstr,
+    LoadInstr,
+    MoviInstr,
+    StoreInstr,
+)
+from repro.isa.opcodes import Opcode
+
+
+class TestRejections:
+    def test_load_in_body_rejected(self):
+        with pytest.raises(ValueError, match="not MOVI/ALU"):
+            Slice(
+                0,
+                (LoadInstr(1, AddressPattern(0, 1, 8)),),
+                (0,),
+                1,
+            )
+
+    def test_store_in_body_rejected(self):
+        with pytest.raises(ValueError, match="not MOVI/ALU"):
+            Slice(
+                0,
+                (StoreInstr(0, AddressPattern(0, 1, 8)),),
+                (0,),
+                0,
+            )
+
+    def test_duplicate_frontier_rejected(self):
+        with pytest.raises(ValueError, match="duplicate frontier"):
+            Slice(0, (AluInstr(Opcode.ADD, 2, 0, 1),), (0, 1, 0), 2)
+
+    def test_undefined_result_register_rejected(self):
+        with pytest.raises(ValueError, match="never defined"):
+            Slice(0, (MoviInstr(1, 7),), (0,), 99)
+
+    def test_error_message_names_the_site(self):
+        with pytest.raises(ValueError, match="site 17"):
+            Slice(17, (MoviInstr(1, 7),), (0,), 99)
+
+
+class TestAccepted:
+    def test_trivial_copy_slice(self):
+        sl = Slice(0, (), (5,), 5)
+        assert sl.execute([42]) == 42
+
+    def test_valid_chain(self):
+        sl = Slice(
+            3,
+            (MoviInstr(2, 7), AluInstr(Opcode.MUL, 3, 0, 2)),
+            (0,),
+            3,
+        )
+        assert sl.execute([6]) == 42
+
+    def test_result_defined_by_frontier_only(self):
+        # A dead internal computation is legal as long as the result
+        # register itself is bound (here: by the frontier).
+        sl = Slice(0, (MoviInstr(9, 1),), (4,), 4)
+        assert sl.execute([8]) == 8

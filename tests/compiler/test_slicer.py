@@ -3,9 +3,8 @@
 import pytest
 
 from repro.compiler.slicer import SliceRejection, extract_slice
-from repro.isa.builder import KernelBuilder, chain_kernel
+from repro.isa.builder import chain_kernel
 from repro.isa.instructions import AddressPattern, StoreInstr
-from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
 
 STORE = AddressPattern(0, 1, 8)

@@ -41,10 +41,11 @@ class TestSlice:
         with pytest.raises(ValueError):
             add_slice().execute([1, 2])
 
-    def test_missing_result_register(self):
-        sl = Slice(0, (MoviInstr(1, 7),), (0,), 99)
+    def test_missing_result_register_rejected_at_construction(self):
+        # Construction-time validation: a slice that could only fail inside
+        # execute() during recovery must not be buildable at all.
         with pytest.raises(ValueError):
-            sl.execute([1])
+            Slice(0, (MoviInstr(1, 7),), (0,), 99)
 
     def test_operands_masked(self):
         assert add_slice().execute([MASK64 + 8]) == 14  # masked to 7... (7+7)

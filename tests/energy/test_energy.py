@@ -1,7 +1,5 @@
 """Tests for the energy package."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 

@@ -6,7 +6,6 @@ the paper live in the benchmark harness.
 
 import pytest
 
-from repro.experiments.configs import ConfigRequest
 from repro.experiments.figures import (
     fig1_error_rate,
     fig6_time_overhead,

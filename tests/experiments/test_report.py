@@ -2,8 +2,6 @@
 
 import io
 
-import pytest
-
 from repro.experiments.report import generate_report
 from repro.experiments.runner import ExperimentRunner
 

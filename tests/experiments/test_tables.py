@@ -1,7 +1,5 @@
 """Tests for repro.experiments.tables_ (paper reference data integrity)."""
 
-import pytest
-
 from repro.experiments.tables_ import PAPER_TABLE2, table1_configuration
 from repro.workloads.registry import all_workload_names
 

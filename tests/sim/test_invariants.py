@@ -6,7 +6,6 @@ sanity, conservation between the ACR and baseline variants, and the
 accounting identities the paper's equations rest on.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.arch.config import MachineConfig

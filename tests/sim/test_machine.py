@@ -1,7 +1,5 @@
 """Tests for repro.sim.machine."""
 
-import pytest
-
 from repro.arch.config import MachineConfig
 from repro.sim.machine import Machine
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.compiler.policy import ThresholdPolicy
 from repro.errors.injection import UniformErrors
 from repro.sim.results import energy_overhead, time_overhead
 from repro.sim.simulator import SimulationOptions, Simulator

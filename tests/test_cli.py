@@ -53,11 +53,96 @@ class TestCommands:
         assert "coverage" in out
         assert "slice-length histogram" in out
 
+    def test_slices_reports_rejections_and_lint_summary(self, capsys):
+        assert main(["slices", "mg", "--threshold", "30"] + SMALL) == 0
+        out = capsys.readouterr().out
+        assert "slice rejections by reason" in out
+        assert "loop-carried" in out
+        assert "lint: 0 finding(s)" in out
+
     def test_baselines(self, capsys):
         assert main(["baselines", "bt", "--every-k", "3"] + SMALL) == 0
         out = capsys.readouterr().out
         assert "full snapshots would" in out
         assert "level-2 drain" in out
+
+
+class TestLintCommand:
+    TINY = ["--scale", "0.1", "--reps", "8"]
+
+    def test_clean_benchmark_exits_zero(self, capsys):
+        assert main(["lint", "bt"] + self.TINY) == 0
+        out = capsys.readouterr().out
+        assert "bt: lint: 0 finding(s)" in out
+        assert "replayed" in out
+
+    def test_explicit_threshold_and_no_oracle(self, capsys):
+        assert main(
+            ["lint", "mg", "--threshold", "5", "--no-oracle"] + self.TINY
+        ) == 0
+        assert "0 value(s) replayed" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["lint", "is", "--format", "json"] + self.TINY) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["benchmark"] == "is"
+        assert doc["summary"]["ok"] is True
+        assert doc["summary"]["total"] == 0
+        assert doc["sites_embedded"] > 0
+
+    def test_all_benchmarks(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setattr(
+            "repro.cli.all_workload_names", lambda: list(TINY_WORKLOADS)
+        )
+        assert main(["lint", "--all", "--format", "json"] + self.TINY) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert [d["benchmark"] for d in docs] == TINY_WORKLOADS
+        assert all(d["summary"]["ok"] for d in docs)
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("ACR001", "ACR004", "ACR007", "ACR008"):
+            assert rule in out
+        assert "recompute-divergence" in out
+
+    def test_select_and_ignore(self, capsys):
+        assert main(["lint", "bt", "--select", "ACR003"] + self.TINY) == 0
+        assert main(
+            ["lint", "bt", "--ignore", "ACR008,ACR005"] + self.TINY
+        ) == 0
+
+    def test_unknown_rule_pattern_exits_two(self, capsys):
+        assert main(["lint", "bt", "--select", "ACR9"] + self.TINY) == 2
+        assert "unknown rule pattern" in capsys.readouterr().err
+
+    def test_missing_benchmark_exits_two(self, capsys):
+        assert main(["lint"] + self.TINY) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_error_findings_exit_one(self, capsys, monkeypatch):
+        from repro.verify import Diagnostic, LintReport, Severity
+
+        def fake_verify(cp, **kwargs):
+            return LintReport(
+                findings=[
+                    Diagnostic(
+                        "ACR003", "dangling-assoc", Severity.ERROR,
+                        "planted for the exit-code test", site=0,
+                    )
+                ],
+                slices_checked=1,
+            )
+
+        monkeypatch.setattr("repro.cli.verify_program", fake_verify)
+        assert main(["lint", "bt"] + self.TINY) == 1
+        out = capsys.readouterr().out
+        assert "ACR003" in out
+        assert "planted" in out
 
 
 class TestJobsAndCacheFlags:

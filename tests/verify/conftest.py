@@ -1,0 +1,46 @@
+"""Shared fixtures for the verifier tests.
+
+``make_cp`` builds the canonical mutation-corpus victim: a four-kernel
+program with a two-input chain (exercises frontier-dependent rules), a
+one-input chain, a trivial copy and a loop-carried accumulator (both
+rejected by the slicer, so the table has exactly two entries).
+"""
+
+from repro.compiler.embed import CompiledProgram, compile_program
+from repro.compiler.policy import ThresholdPolicy
+from repro.isa.builder import chain_kernel
+from repro.isa.instructions import AddressPattern
+from repro.isa.program import Program
+
+CORPUS_THRESHOLD = 10
+
+
+def make_cp() -> CompiledProgram:
+    """Compile the canonical corpus program with the default policy."""
+    kernels = [
+        chain_kernel(
+            "two_in",
+            AddressPattern(0, 1, 8),
+            [AddressPattern(4096, 1, 8), AddressPattern(8192, 1, 8)],
+            4, 6, salt=3,
+        ),
+        chain_kernel(
+            "one_in",
+            AddressPattern(1024, 1, 8),
+            [AddressPattern(12288, 1, 8)],
+            3, 6, salt=5,
+        ),
+        chain_kernel(
+            "copy",
+            AddressPattern(2048, 1, 8),
+            [AddressPattern(16384, 1, 8)],
+            0, 6, copy_store=True,
+        ),
+        chain_kernel(
+            "acc",
+            AddressPattern(3072, 1, 8),
+            [AddressPattern(20480, 1, 8)],
+            3, 6, accumulate=True,
+        ),
+    ]
+    return compile_program(Program(kernels), ThresholdPolicy(CORPUS_THRESHOLD))

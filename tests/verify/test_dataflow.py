@@ -1,0 +1,84 @@
+"""Tests for repro.verify.dataflow (reaching defs, du-chains, live-in)."""
+
+from repro.isa.instructions import (
+    AddressPattern,
+    AluInstr,
+    LoadInstr,
+    MoviInstr,
+    StoreInstr,
+)
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Kernel
+from repro.verify import KernelDataflow
+
+PAT = AddressPattern(0, 1, 8)
+
+
+def straightline_kernel():
+    """r1 <- load; r2 <- 5; r3 <- r1+r2; r1 <- 9; r4 <- r3+r7; store r4."""
+    body = [
+        LoadInstr(1, PAT),                      # 0: def r1
+        MoviInstr(2, 5),                        # 1: def r2
+        AluInstr(Opcode.ADD, 3, 1, 2),          # 2: def r3, reads r1 r2
+        MoviInstr(1, 9),                        # 3: redefines r1
+        AluInstr(Opcode.ADD, 4, 3, 7),          # 4: def r4, reads r3 + live-in r7
+        StoreInstr(4, AddressPattern(64, 1, 8)),  # 5: reads r4
+    ]
+    return Kernel("dfk", body, trip_count=2)
+
+
+class TestReachingDefs:
+    def test_last_def_before_index_wins(self):
+        df = KernelDataflow(straightline_kernel())
+        assert df.reaching_def(2, 1) == 0   # the load, not the later MOVI
+        assert df.reaching_def(5, 1) == 3   # after the redefinition
+        assert df.reaching_def(5, 4) == 4
+
+    def test_live_in_reaches_none(self):
+        df = KernelDataflow(straightline_kernel())
+        assert df.reaching_def(4, 7) is None
+        assert df.reaching_def(0, 1) is None  # before any def
+
+    def test_defs_of_reg_in_order(self):
+        df = KernelDataflow(straightline_kernel())
+        assert df.defs_of_reg(1) == (0, 3)
+        assert df.defs_of_reg(99) == ()
+
+
+class TestPerInstructionFacts:
+    def test_reads_and_defs(self):
+        df = KernelDataflow(straightline_kernel())
+        assert df.reads(2) == (1, 2)
+        assert df.reads(5) == (4,)
+        assert df.reads(1) == ()
+        assert df.def_reg(0) == 1
+        assert df.def_reg(5) is None
+        assert len(df) == 6
+
+
+class TestDuChainsAndLiveIn:
+    def test_du_chains_bind_uses_to_defs(self):
+        df = KernelDataflow(straightline_kernel())
+        chains = df.du_chains()
+        assert chains[0] == (2,)     # load r1 -> ALU at 2 only
+        assert chains[2] == (4,)     # r3 -> ALU at 4
+        assert chains[4] == (5,)     # r4 -> store
+        assert 3 not in chains       # redefined r1 is dead
+
+    def test_live_in_is_read_before_def(self):
+        df = KernelDataflow(straightline_kernel())
+        assert df.live_in == frozenset({7})
+
+    def test_accumulator_register_is_live_in(self):
+        body = [
+            MoviInstr(2, 1),
+            AluInstr(Opcode.ADD, 1, 1, 2),  # r1 += 1: read-before-def
+            StoreInstr(1, PAT),
+        ]
+        df = KernelDataflow(Kernel("acc", body, trip_count=2))
+        assert 1 in df.live_in
+
+    def test_closure_matches_ddg(self):
+        k = straightline_kernel()
+        df = KernelDataflow(k)
+        assert df.closure_of(5) == df.ddg.backward_closure(5)

@@ -1,0 +1,116 @@
+"""Tests for the lint engine: rule selection, reports, compile post-pass."""
+
+import pytest
+
+from repro.compiler.embed import compile_program
+from repro.compiler.policy import ThresholdPolicy
+from repro.verify import (
+    ALL_RULE_IDS,
+    Severity,
+    SliceVerificationError,
+    seed_defect,
+    select_rules,
+    verify_program,
+)
+
+from tests.verify.conftest import make_cp
+
+
+class TestSelectRules:
+    def test_defaults_to_everything(self):
+        assert select_rules() == list(ALL_RULE_IDS)
+
+    def test_select_exact_and_prefix(self):
+        assert select_rules(["ACR003"]) == ["ACR003"]
+        assert select_rules(["ACR00"]) == list(ALL_RULE_IDS)
+
+    def test_case_insensitive(self):
+        assert select_rules(["acr005"]) == ["ACR005"]
+
+    def test_ignore_removes(self):
+        chosen = select_rules(ignore=["ACR008"])
+        assert "ACR008" not in chosen
+        assert len(chosen) == len(ALL_RULE_IDS) - 1
+
+    def test_ignore_beats_select(self):
+        assert select_rules(["ACR001"], ["ACR001"]) == []
+
+    @pytest.mark.parametrize("bad", [["ACR9"], ["bogus"], ["ACR001", "XYZ"]])
+    def test_unknown_pattern_raises(self, bad):
+        with pytest.raises(ValueError, match="unknown rule pattern"):
+            select_rules(bad)
+
+
+class TestVerifyProgram:
+    def test_select_filters_findings(self):
+        mutated = seed_defect(make_cp(), "ACR001")
+        assert verify_program(mutated, select=["ACR001"]).rule_ids() == ["ACR001"]
+        assert verify_program(mutated, select=["ACR003"]).findings == []
+
+    def test_ignoring_the_oracle_skips_replay(self):
+        report = verify_program(make_cp(), ignore=["ACR008"])
+        assert report.oracle_values_checked == 0
+
+    def test_no_policy_disables_acr005(self):
+        mutated = seed_defect(make_cp(), "ACR005")
+        assert verify_program(mutated, oracle=False).findings == []
+        report = verify_program(
+            mutated, policy=ThresholdPolicy(10), oracle=False
+        )
+        assert report.rule_ids() == ["ACR005"]
+
+    def test_json_document_shape(self):
+        doc = verify_program(seed_defect(make_cp(), "ACR003")).to_json_dict()
+        assert set(doc) == {"findings", "summary"}
+        assert doc["summary"]["ok"] is False
+        assert doc["summary"]["errors"] == doc["summary"]["total"] >= 1
+        assert doc["summary"]["by_rule"].keys() == {"ACR003"}
+        finding = doc["findings"][0]
+        assert finding["rule"] == "ACR003"
+        assert finding["severity"] == "error"
+        assert isinstance(finding["site"], int)
+
+    def test_render_lists_findings_and_summary(self):
+        text = verify_program(seed_defect(make_cp(), "ACR006")).render()
+        assert "ACR006" in text
+        assert "lint:" in text
+
+
+class FicklePolicy:
+    """Accepts the first ``budget`` accept() calls, rejects the rest.
+
+    With budget equal to the number of sliceable sites it accepts every
+    slice during embedding, then rejects them all when the verify
+    post-pass re-asks — a stateful policy violating the implicit
+    contract that accept() is a pure function of the slice.
+    """
+
+    def __init__(self, budget):
+        self.budget = budget
+
+    def accept(self, sl):
+        self.budget -= 1
+        return self.budget >= 0
+
+
+class TestCompileVerifyPostPass:
+    def test_clean_program_compiles_under_verify(self):
+        cp = make_cp()
+        # Recompile the same source program with verify=True: no raise.
+        verified = compile_program(
+            cp.program, ThresholdPolicy(10), verify=True
+        )
+        assert len(verified.slices) == len(cp.slices)
+
+    def test_inconsistent_policy_raises(self):
+        source = make_cp().program
+        sliceable = compile_program(source).stats.sites_sliceable
+        with pytest.raises(SliceVerificationError) as exc:
+            compile_program(source, FicklePolicy(sliceable), verify=True)
+        err = exc.value
+        assert err.report.rule_ids() == ["ACR005"]
+        assert "ACR005" in str(err)
+
+    def test_severity_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert max(Severity) is Severity.ERROR

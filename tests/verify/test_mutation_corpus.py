@@ -1,0 +1,72 @@
+"""The corpus contract: each seeded defect fires its rule — and only it.
+
+This is simultaneously the verifier's sensitivity suite (every defect
+class is detected) and its precision suite (no mutation triggers a
+bystander rule, so a finding always names the actual defect).
+"""
+
+import pytest
+
+from repro.compiler.policy import ThresholdPolicy
+from repro.verify import DEFECT_RULE_IDS, seed_defect, verify_program
+
+from tests.verify.conftest import CORPUS_THRESHOLD, make_cp
+
+
+def lint(compiled):
+    return verify_program(compiled, policy=ThresholdPolicy(CORPUS_THRESHOLD))
+
+
+class TestCorpusPrecision:
+    def test_clean_baseline_has_zero_findings(self):
+        report = lint(make_cp())
+        assert report.findings == []
+        assert report.ok
+        assert report.slices_checked == 2  # copy + accumulate rejected
+        assert report.oracle_values_checked > 0
+
+    @pytest.mark.parametrize("rule_id", DEFECT_RULE_IDS)
+    def test_each_defect_fires_exactly_its_rule(self, rule_id):
+        mutated = seed_defect(make_cp(), rule_id)
+        report = lint(mutated)
+        assert report.rule_ids() == [rule_id]
+        assert not report.ok
+
+    def test_corpus_covers_every_rule(self):
+        from repro.verify import ALL_RULE_IDS
+
+        assert tuple(DEFECT_RULE_IDS) == tuple(ALL_RULE_IDS)
+
+    def test_seed_defect_does_not_mutate_input(self):
+        cp = make_cp()
+        for rule_id in DEFECT_RULE_IDS:
+            seed_defect(cp, rule_id)
+        assert lint(cp).findings == []
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="no mutator"):
+            seed_defect(make_cp(), "ACR999")
+
+
+class TestDefectDetails:
+    def test_static_defects_are_errors(self):
+        for rule_id in DEFECT_RULE_IDS:
+            report = lint(seed_defect(make_cp(), rule_id))
+            assert report.errors, rule_id
+            for d in report.errors:
+                assert d.rule == rule_id
+                assert d.site is not None
+                assert d.message
+
+    def test_oracle_skips_statically_broken_sites(self):
+        # A slice with a missing frontier slot cannot be replayed; the
+        # oracle must not pile an ACR008 finding onto ACR002's.
+        report = lint(seed_defect(make_cp(), "ACR002"))
+        assert report.rule_ids() == ["ACR002"]
+        assert report.oracle_sites_skipped >= 1
+
+    def test_divergence_message_names_values(self):
+        report = lint(seed_defect(make_cp(), "ACR008"))
+        msg = report.findings[0].message
+        assert "recompute(snapshot)" in msg
+        assert "0x" in msg

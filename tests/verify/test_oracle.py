@@ -1,0 +1,81 @@
+"""Tests for the differential recompute oracle (ACR008)."""
+
+import dataclasses
+
+from repro.verify import OracleResult, run_differential_oracle, seed_defect
+from repro.verify.oracle import ORACLE_RULE_ID
+
+from tests.verify.conftest import make_cp
+
+
+def run(cp, **kw):
+    return run_differential_oracle(cp.program, cp.slices, **kw)
+
+
+class TestCleanPrograms:
+    def test_clean_compile_replays_without_findings(self):
+        result = run(make_cp())
+        assert isinstance(result, OracleResult)
+        assert result.ok
+        assert result.findings == ()
+        assert result.values_checked > 0
+        assert result.sites_skipped == 0
+
+    def test_sample_budget_caps_replays(self):
+        cp = make_cp()
+        one = run(cp, seeds=(0,), samples_per_site=1)
+        three = run(cp, seeds=(0,), samples_per_site=3)
+        assert one.values_checked == len(cp.slices)
+        assert three.values_checked > one.values_checked
+
+    def test_each_seed_replays_independently(self):
+        cp = make_cp()
+        single = run(cp, seeds=(0,), samples_per_site=2)
+        double = run(cp, seeds=(0, 1), samples_per_site=2)
+        assert double.values_checked == 2 * single.values_checked
+
+
+class TestDivergence:
+    def test_corrupted_slice_diverges(self):
+        result = run(seed_defect(make_cp(), "ACR008"), seeds=(0, 1))
+        assert not result.ok
+        for d in result.findings:
+            assert d.rule == ORACLE_RULE_ID
+            assert d.severity.value == "error"
+
+    def test_one_finding_per_site_per_seed(self):
+        # Sampling stops at the first divergence of a site, so a broken
+        # slice reports once per seed even over many dynamic stores.
+        result = run(
+            seed_defect(make_cp(), "ACR008"),
+            seeds=(0, 1),
+            samples_per_site=3,
+        )
+        assert len(result.findings) == 2
+
+    def test_skip_sites_excluded_from_replay(self):
+        cp = seed_defect(make_cp(), "ACR008")
+        bad_site = min(cp.slices.sites)
+        result = run(cp, skip_sites=frozenset({bad_site}))
+        assert result.ok  # the only corrupted site was skipped
+        assert result.sites_skipped == 1
+
+    def test_out_of_file_frontier_register_reported_not_crashed(self):
+        # A frontier register beyond the register file cannot be
+        # snapshotted; the oracle must report it, not raise.
+        cp = make_cp()
+        site = min(cp.slices.sites)
+        sl = cp.slices.get(site)
+        forged = object.__new__(type(sl))
+        for name, value in (
+            ("site", sl.site),
+            ("instructions", sl.instructions),
+            ("frontier", sl.frontier[:-1] + (10_000_000,)),
+            ("result_reg", sl.result_reg),
+        ):
+            object.__setattr__(forged, name, value)
+        table = dataclasses.replace(cp).slices
+        table._slices[site] = forged
+        result = run_differential_oracle(cp.program, table, seeds=(0,))
+        assert {d.site for d in result.findings} == {site}
+        assert "register" in result.findings[0].message

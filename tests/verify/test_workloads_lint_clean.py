@@ -1,0 +1,84 @@
+"""Zero-false-positive guarantee over real and random programs.
+
+Every registered NAS-like workload must verify clean — static rules plus
+the differential oracle — at both the paper's default threshold and a
+tighter one; and so must any randomly shaped DAG kernel the property
+strategy can produce.  A finding on an honestly compiled program is, by
+definition, a verifier bug.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.embed import compile_program
+from repro.compiler.policy import ThresholdPolicy
+from repro.isa.builder import KernelBuilder
+from repro.isa.instructions import AddressPattern
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.verify import verify_program
+from repro.workloads.registry import all_workload_names, get_workload
+
+OPS = [
+    Opcode.ADD,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SHL,
+    Opcode.SHR,
+]
+
+
+@pytest.mark.parametrize("name", all_workload_names())
+@pytest.mark.parametrize("threshold", [5, 10])
+def test_registered_workloads_lint_clean(name, threshold):
+    spec = get_workload(name)
+    program = spec.build_programs(1, region_scale=0.1, reps=8)[0]
+    policy = ThresholdPolicy(threshold)
+    cp = compile_program(program, policy, verify=True)
+    report = verify_program(cp, policy=policy, oracle_samples=2)
+    assert report.findings == [], report.render()
+    assert report.slices_checked == cp.stats.sites_embedded
+    if cp.stats.sites_embedded:
+        assert report.oracle_values_checked > 0
+
+
+@st.composite
+def random_kernels(draw):
+    """Random DAG kernel (same shape space as the slicing properties)."""
+    builder = KernelBuilder("prop")
+    values = []
+    n_loads = draw(st.integers(min_value=0, max_value=3))
+    for i in range(n_loads):
+        values.append(
+            builder.load(AddressPattern((1 << 20) + i * 1024, 1, 16))
+        )
+    n_imms = draw(st.integers(min_value=0 if n_loads else 1, max_value=3))
+    for _ in range(n_imms):
+        values.append(builder.movi(draw(st.integers(0, 2**64 - 1))))
+    n_alu = draw(st.integers(min_value=0, max_value=12))
+    for _ in range(n_alu):
+        op = draw(st.sampled_from(OPS))
+        a = draw(st.sampled_from(values))
+        b = draw(st.sampled_from(values))
+        values.append(builder.alu(op, a, b))
+    n_stores = draw(st.integers(min_value=1, max_value=3))
+    for j in range(n_stores):
+        src = draw(st.sampled_from(values))
+        builder.store(src, AddressPattern(j * 1024, 1, 8))
+    trip = draw(st.integers(min_value=1, max_value=6))
+    return builder.build(trip)
+
+
+class TestRandomProgramsLintClean:
+    @given(random_kernels(), st.integers(min_value=1, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_honest_compile_never_yields_findings(self, kernel, threshold):
+        policy = ThresholdPolicy(threshold)
+        cp = compile_program(Program([kernel]), policy, verify=True)
+        report = verify_program(
+            cp, policy=policy, oracle_seeds=(0,), oracle_samples=2
+        )
+        assert report.findings == [], report.render()

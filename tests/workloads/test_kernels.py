@@ -1,7 +1,5 @@
 """Unit tests for workload kernel builders (site/shared/burst)."""
 
-import pytest
-
 from repro.isa.instructions import LoadInstr, StoreInstr
 from repro.workloads.kernels import (
     assign_sites,

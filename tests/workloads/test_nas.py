@@ -4,7 +4,6 @@ import pytest
 
 from repro.compiler.embed import compile_program
 from repro.compiler.policy import ThresholdPolicy
-from repro.workloads.nas import NAS_BENCHMARKS
 from repro.workloads.registry import all_workload_names, get_workload
 
 PAPER_BENCHMARKS = ("bt", "cg", "dc", "ft", "is", "lu", "mg", "sp")
