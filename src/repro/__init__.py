@@ -18,8 +18,9 @@ Layers (bottom-up): :mod:`repro.isa` (IR + interpreter),
 :mod:`repro.errors`, :mod:`repro.ckpt` (incremental logging BER),
 :mod:`repro.acr` (the paper's contribution), :mod:`repro.sim` (the run
 loop), :mod:`repro.workloads` (NAS-like generators),
-:mod:`repro.experiments` (figure/table regeneration) and
-:mod:`repro.verify` (slice soundness lints + differential oracle).
+:mod:`repro.experiments` (figure/table regeneration),
+:mod:`repro.verify` (slice soundness lints + differential oracle) and
+:mod:`repro.obs` (event tracing + metrics observability).
 """
 
 from repro.analysis import (
@@ -57,6 +58,12 @@ from repro.experiments import (
     scalability,
     table1_configuration,
     table2_threshold_sweep,
+)
+from repro.obs import (
+    MetricsRegistry,
+    NullTracer,
+    ObsReport,
+    RecordingTracer,
 )
 from repro.isa import (
     AddressPattern,
@@ -126,6 +133,11 @@ __all__ = [
     "chain_kernel",
     "Interpreter",
     "MemoryImage",
+    # obs
+    "NullTracer",
+    "RecordingTracer",
+    "MetricsRegistry",
+    "ObsReport",
     # sim
     "Simulator",
     "SimulationOptions",

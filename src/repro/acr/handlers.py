@@ -18,7 +18,7 @@ engine and writes them back, in coordination with the log-based restore.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.arch.buffers import AddrMap, AddrMapEntry, OperandBuffer
 from repro.arch.config import MachineConfig
@@ -26,6 +26,9 @@ from repro.acr.recompute import RecomputationEngine
 from repro.ckpt.log import IntervalLog
 from repro.compiler.slices import Slice, SliceTable
 from repro.isa.interpreter import MemoryImage
+from repro.obs.events import AddrMapEvict, AddrMapHit, AddrMapInsert
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 
 __all__ = ["AssocOutcome", "AcrCheckpointHandler", "AcrRecoveryHandler"]
 
@@ -73,6 +76,27 @@ class AcrCheckpointHandler:
         self.assoc_executed = 0
         self.omissions = 0
         self.omission_lookups = 0
+        # Observability (attached by the simulator; None = fast path).
+        self._tracer: Optional[Tracer] = None
+        self._metrics: Optional[MetricsRegistry] = None
+        self._clock: Optional[Callable[[int], float]] = None
+
+    # -- observability --------------------------------------------------------
+    def attach_observability(
+        self,
+        tracer: Optional[Tracer],
+        metrics: Optional[MetricsRegistry],
+        clock: Callable[[int], float],
+    ) -> None:
+        """Wire the handler into the run's tracer/metrics.
+
+        ``clock`` maps a core id to its current simulated wall time (the
+        handler has no clock of its own).  A disabled tracer is dropped
+        here so the per-store guards stay a single ``is not None`` test.
+        """
+        self._tracer = tracer if (tracer is not None and tracer.enabled) else None
+        self._metrics = metrics
+        self._clock = clock
 
     def slice_for_site(self, core: int, site: int) -> Optional[Slice]:
         """The embedded slice covering ``site`` on ``core`` (if any)."""
@@ -89,6 +113,7 @@ class AcrCheckpointHandler:
         sl = self._site_slices[core].get(site)
         if sl is None:
             self.addrmaps[core].invalidate(address)
+            self._observe_evict(core, address, "invalidated")
             return AssocOutcome.INVALIDATED
 
         n_ops = len(sl.frontier)
@@ -98,18 +123,38 @@ class AcrCheckpointHandler:
             freed = len(replaced.slice_.frontier)
             self.operand_buffers[core].release(freed)
             self._gen_words[core][-1] -= freed
+            self._observe_evict(core, address, "replaced")
         if not self.operand_buffers[core].try_reserve(n_ops):
             self.addrmaps[core].invalidate(address)
+            self._observe_evict(core, address, "rejected")
             return AssocOutcome.REJECTED
         operands = tuple(regs[r] for r in sl.frontier)
         entry = AddrMapEntry(address, sl, operands)
         if not self.addrmaps[core].record(entry):
             self.operand_buffers[core].release(n_ops)
             self.addrmaps[core].invalidate(address)
+            self._observe_evict(core, address, "rejected")
             return AssocOutcome.REJECTED
         self._gen_words[core][-1] += n_ops
         self.assoc_executed += 1
+        if self._metrics is not None:
+            self._metrics.counter("addrmap.inserts").inc()
+        if self._tracer is not None:
+            self._tracer.emit(AddrMapInsert(
+                ts_ns=self._clock(core), core=core,
+                address=address, operands=n_ops,
+            ))
         return AssocOutcome.RECORDED
+
+    def _observe_evict(self, core: int, address: int, reason: str) -> None:
+        """Emit/count one AddrMap eviction (no-op when unobserved)."""
+        if self._metrics is not None:
+            self._metrics.counter(f"addrmap.evict.{reason}").inc()
+        if self._tracer is not None:
+            self._tracer.emit(AddrMapEvict(
+                ts_ns=self._clock(core), core=core,
+                address=address, reason=reason,
+            ))
 
     def may_omit(self, core: int, address: int) -> Optional[AddrMapEntry]:
         """Memory-controller query at a first-modification.
@@ -122,6 +167,12 @@ class AcrCheckpointHandler:
         entry = self.addrmaps[core].committed_lookup(address)
         if entry is not None:
             self.omissions += 1
+            if self._metrics is not None:
+                self._metrics.counter("addrmap.hits").inc()
+            if self._tracer is not None:
+                self._tracer.emit(AddrMapHit(
+                    ts_ns=self._clock(core), core=core, address=address,
+                ))
         return entry
 
     # -- boundary control ---------------------------------------------------------

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional
 
-from repro.ckpt.log import IntervalLog
+from repro.ckpt.log import IntervalLog, LogObserver
 from repro.util.validation import check_non_negative
 
 __all__ = ["Checkpoint", "CheckpointStore", "RETAINED_CHECKPOINTS"]
@@ -52,12 +52,20 @@ class Checkpoint:
 class CheckpointStore:
     """Orders checkpoints, manages the open interval log and retention."""
 
-    def __init__(self, arch_bytes_per_core: int, num_cores: int) -> None:
+    def __init__(
+        self,
+        arch_bytes_per_core: int,
+        num_cores: int,
+        log_observer: Optional[LogObserver] = None,
+    ) -> None:
         check_non_negative("arch_bytes_per_core", arch_bytes_per_core)
         self.arch_bytes_per_core = arch_bytes_per_core
         self.num_cores = num_cores
         self.checkpoints: List[Checkpoint] = []
-        self.current_log = IntervalLog(0)
+        #: Observability hook handed to every interval log this store
+        #: opens (``None`` keeps the logs on their unobserved fast path).
+        self._log_observer = log_observer
+        self.current_log = IntervalLog(0, log_observer)
 
     # -- establishment -----------------------------------------------------
     def establish(
@@ -85,7 +93,7 @@ class CheckpointStore:
             omitted_bytes=log.omitted_bytes,
         )
         self.checkpoints.append(ckpt)
-        self.current_log = IntervalLog(len(self.checkpoints))
+        self.current_log = IntervalLog(len(self.checkpoints), self._log_observer)
         self._prune()
         return ckpt
 

@@ -23,7 +23,7 @@ computed by the simulator, which owns the clocks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.arch.config import MachineConfig
 from repro.arch.memctrl import MemorySystem
@@ -31,6 +31,9 @@ from repro.ckpt.log import LOG_RECORD_BYTES, VALUE_BYTES, IntervalLog
 from repro.energy.accounting import EnergyLedger
 from repro.energy.model import EnergyModel
 from repro.isa.interpreter import MemoryImage
+from repro.obs.events import SliceRecompute
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 
 __all__ = ["RecoveryCosts", "RecoveryEngine"]
 
@@ -72,13 +75,19 @@ class RecoveryEngine:
         logs: Sequence[IntervalLog],
         participants: Sequence[int],
         ledger: EnergyLedger,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        ts_ns: float = 0.0,
     ) -> RecoveryCosts:
         """Cost of restoring via ``logs`` (newest-first) on ``participants``.
 
         Only records belonging to participant cores are restored — under
         coordinated local checkpointing, non-communicating cores do not
         roll back.  Energy is accumulated into ``ledger`` under ``rec.*``
-        buckets.
+        buckets.  When observability is attached, every omitted value's
+        regeneration emits a :class:`SliceRecompute` event (stamped at
+        ``ts_ns``, the recovery's wall time) and feeds the slice-length /
+        recompute-latency histograms.
         """
         cfg = self.config
         members = set(participants)
@@ -118,17 +127,33 @@ class RecoveryEngine:
         values_per_core: Dict[int, int] = {}
         recomputed = 0
         recompute_instrs = 0
+        cycle = cfg.cycle_ns
+        observe = tracer is not None or metrics is not None
         for log in logs:
             for rec in log.omitted:
                 if rec.core not in members:
                     continue
+                length = rec.entry.slice_.length
                 instrs_per_core[rec.core] = (
-                    instrs_per_core.get(rec.core, 0) + rec.entry.slice_.length
+                    instrs_per_core.get(rec.core, 0) + length
                 )
                 values_per_core[rec.core] = values_per_core.get(rec.core, 0) + 1
                 recomputed += 1
-                recompute_instrs += rec.entry.slice_.length
-        cycle = cfg.cycle_ns
+                recompute_instrs += length
+                if observe:
+                    slice_ns = length * cycle + cfg.addrmap_access_ns
+                    if tracer is not None:
+                        tracer.emit(SliceRecompute(
+                            ts_ns=ts_ns, core=rec.core,
+                            slice_id=rec.entry.slice_.site, ns=slice_ns,
+                        ))
+                    if metrics is not None:
+                        metrics.histogram(
+                            "recovery.slice_length"
+                        ).observe(length)
+                        metrics.histogram(
+                            "recovery.slice_recompute_ns"
+                        ).observe(slice_ns)
         exec_ns = max(
             (
                 instrs * cycle + values_per_core[core] * cfg.addrmap_access_ns

@@ -13,6 +13,11 @@ Installed as ``acr-repro`` (or run with ``python -m repro.cli``):
   with ``--select``/``--ignore`` filters and ``--format json``;
 * ``acr-repro baselines bt``      — full-snapshot and hierarchical
   what-if cost models over the checkpointed run.
+* ``acr-repro trace bt``          — run one configuration with the event
+  tracer attached; export a Chrome ``trace_event`` file (load it at
+  https://ui.perfetto.dev) and optionally the raw JSONL event stream;
+* ``acr-repro stats bt``          — run with metrics collection only and
+  print the counter/histogram summary tables.
 """
 
 from __future__ import annotations
@@ -37,6 +42,8 @@ from repro.compiler.embed import compile_program
 from repro.compiler.policy import ThresholdPolicy
 from repro.experiments.configs import CONFIG_NAMES
 from repro.experiments.runner import ExperimentRunner
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.tracer import RecordingTracer
 from repro.util.tables import format_table
 from repro.verify.engine import select_rules, verify_program
 from repro.verify.oracle import ORACLE_RULE_ID, ORACLE_RULE_SLUG
@@ -251,6 +258,49 @@ def cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_trace(args) -> int:
+    runner = _runner(args)
+    tracer = RecordingTracer(capacity=args.limit)
+    run = runner.run_traced(
+        args.benchmark,
+        runner.default_request(
+            args.benchmark,
+            args.config,
+            num_checkpoints=args.checkpoints,
+            error_count=args.errors,
+        ),
+        tracer=tracer,
+    )
+    write_chrome_trace(tracer.events, args.out)
+    print(run.describe())
+    print(f"\nchrome trace: {args.out} ({tracer.captured} events) — "
+          f"load at https://ui.perfetto.dev")
+    if args.jsonl:
+        lines = write_jsonl(tracer.events, args.jsonl)
+        print(f"event stream: {args.jsonl} ({lines} lines)")
+    print(runner.progress.tracing_line())
+    return 0
+
+
+def cmd_stats(args) -> int:
+    runner = _runner(args)
+    run = runner.run_traced(
+        args.benchmark,
+        runner.default_request(
+            args.benchmark,
+            args.config,
+            num_checkpoints=args.checkpoints,
+            error_count=args.errors,
+        ),
+        tracer=None,
+        collect_metrics=True,
+    )
+    print(run.describe())
+    print()
+    print(run.obs.summary_table())
+    return 0
+
+
 def cmd_baselines(args) -> int:
     runner = _runner(args)
     for config in ("Ckpt_NE", "ReCkpt_NE"):
@@ -328,6 +378,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload region scale (1.0 = full fidelity)")
     p.add_argument("--reps", type=int, default=None)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one configuration with event tracing; export a "
+             "Perfetto-loadable Chrome trace",
+    )
+    p.add_argument("benchmark", choices=all_workload_names())
+    p.add_argument("config", nargs="?", default="ReCkpt_E",
+                   choices=list(CONFIG_NAMES))
+    p.add_argument("--checkpoints", type=int, default=25)
+    p.add_argument("--errors", type=int, default=1)
+    p.add_argument("--out", type=str, default="run.trace.json",
+                   help="Chrome trace_event output path")
+    p.add_argument("--jsonl", type=str, default=None,
+                   help="also write the raw event stream as JSONL")
+    p.add_argument("--limit", type=_positive_int, default=None,
+                   help="cap captured events (earliest kept; rest counted "
+                        "as dropped)")
+    _add_common(p)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "stats",
+        help="run one configuration with metrics collection and print "
+             "the counter/histogram tables",
+    )
+    p.add_argument("benchmark", choices=all_workload_names())
+    p.add_argument("config", nargs="?", default="ReCkpt_E",
+                   choices=list(CONFIG_NAMES))
+    p.add_argument("--checkpoints", type=int, default=25)
+    p.add_argument("--errors", type=int, default=1)
+    _add_common(p)
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("baselines", help="what-if checkpointing baselines")
     p.add_argument("benchmark", choices=all_workload_names())

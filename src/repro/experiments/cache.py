@@ -37,7 +37,8 @@ __all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "run_cache_key"]
 
 #: Bump when the serialised :class:`RunResult` layout (or anything about
 #: how keys are derived) changes; old entries then read as misses.
-CACHE_SCHEMA_VERSION = 1
+#: v2: ``RunResult.to_dict`` gained the (nullable) ``obs`` payload.
+CACHE_SCHEMA_VERSION = 2
 
 
 def _package_version() -> str:

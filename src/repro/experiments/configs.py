@@ -27,6 +27,7 @@ from typing import Any, Optional, Tuple
 from repro.compiler.policy import SelectionPolicy, ThresholdPolicy
 from repro.errors.injection import NoErrors, UniformErrors
 from repro.errors.model import ErrorModel
+from repro.obs.tracer import Tracer
 from repro.sim.results import BaselineProfile
 from repro.sim.simulator import SimulationOptions
 from repro.util.validation import check_positive
@@ -118,13 +119,22 @@ def make_options(
     baseline: Optional[BaselineProfile],
     error_model: Optional[ErrorModel] = None,
     slice_policy: Optional[SelectionPolicy] = None,
+    tracer: Optional[Tracer] = None,
+    collect_metrics: bool = False,
 ) -> SimulationOptions:
-    """Build the simulator options for one configuration request."""
+    """Build the simulator options for one configuration request.
+
+    ``tracer``/``collect_metrics`` attach the observability layer; they
+    are *not* part of the cache key (a traced run must bypass the result
+    cache — see :meth:`ExperimentRunner.run_traced`).
+    """
     if request.is_baseline:
         return SimulationOptions(
             label=request.config,
             scheme="none",
             memory_seed=request.memory_seed,
+            tracer=tracer,
+            collect_metrics=collect_metrics,
         )
     errors = (
         UniformErrors(request.error_count) if request.with_errors else NoErrors()
@@ -143,4 +153,6 @@ def make_options(
         error_model=error_model or ErrorModel(),
         baseline=baseline,
         memory_seed=request.memory_seed,
+        tracer=tracer,
+        collect_metrics=collect_metrics,
     )

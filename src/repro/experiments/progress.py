@@ -35,6 +35,9 @@ class RunRecord:
     config: str
     source: str
     seconds: float
+    #: True when the run carried an enabled tracer and/or a metrics
+    #: registry — traced runs never come from (or go to) the cache.
+    traced: bool = False
 
     def __post_init__(self) -> None:
         if self.source not in _SOURCES:
@@ -56,19 +59,22 @@ class ProgressTracker:
     memo_hits: int = 0
     disk_hits: int = 0
     disk_misses: int = 0
+    events_captured: int = 0
+    events_dropped: int = 0
 
     # ------------------------------------------------------------------ events --
     def record(self, workload: str, config: str, source: str,
-               seconds: float) -> None:
+               seconds: float, traced: bool = False) -> None:
         """Record one completed run fetch/execution."""
-        rec = RunRecord(workload, config, source, seconds)
+        rec = RunRecord(workload, config, source, seconds, traced)
         self.records.append(rec)
         if source == "disk":
             self.disk_hits += 1
         if self.echo is not None:
+            suffix = " +trace" if rec.traced else ""
             self.echo(
                 f"[{rec.source:>6}] {rec.workload:>4} {rec.config:<14}"
-                f" {rec.seconds * 1e3:9.1f} ms"
+                f" {rec.seconds * 1e3:9.1f} ms{suffix}"
             )
 
     def record_miss(self) -> None:
@@ -78,6 +84,11 @@ class ProgressTracker:
     def record_memo(self) -> None:
         """Count one in-process memo hit (free; not a timed record)."""
         self.memo_hits += 1
+
+    def record_tracing(self, captured: int, dropped: int) -> None:
+        """Accumulate one traced run's event capture/drop counts."""
+        self.events_captured += captured
+        self.events_dropped += dropped
 
     # ----------------------------------------------------------------- queries --
     @property
@@ -95,6 +106,18 @@ class ProgressTracker:
         """Fraction of disk lookups that hit (0.0 when none were made)."""
         lookups = self.disk_hits + self.disk_misses
         return self.disk_hits / lookups if lookups else 0.0
+
+    @property
+    def traced_runs(self) -> int:
+        """Runs executed with observability attached."""
+        return sum(1 for r in self.records if r.traced)
+
+    def tracing_line(self) -> str:
+        """One-line event-capture summary of every traced run."""
+        return (
+            f"trace: {self.events_captured} events captured / "
+            f"{self.events_dropped} dropped"
+        )
 
     def by_source(self) -> Dict[str, int]:
         """Event counts per source."""
@@ -130,6 +153,8 @@ class ProgressTracker:
                 f"\ndisk cache: {self.disk_hits}/{lookups} hits "
                 f"({100.0 * self.hit_rate:.1f}%)"
             )
+        if self.events_captured or self.events_dropped:
+            table += "\n" + self.tracing_line()
         return table
 
     def reset(self) -> None:
@@ -138,6 +163,8 @@ class ProgressTracker:
         self.memo_hits = 0
         self.disk_hits = 0
         self.disk_misses = 0
+        self.events_captured = 0
+        self.events_dropped = 0
 
 
 class _Timer:

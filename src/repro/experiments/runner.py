@@ -36,6 +36,7 @@ from repro.experiments.cache import ResultCache, run_cache_key
 from repro.experiments.configs import ConfigRequest, make_options
 from repro.experiments.progress import ProgressTracker, _Timer
 from repro.isa.program import Program
+from repro.obs.tracer import Tracer
 from repro.sim.results import (
     BaselineProfile,
     RunResult,
@@ -189,6 +190,45 @@ class ExperimentRunner:
             else:
                 self._run_parallel(pending, jobs)
         return [self._results[(wl, req)] for wl, req in ordered]
+
+    def run_traced(
+        self,
+        workload: str,
+        request: ConfigRequest,
+        tracer: Optional[Tracer] = None,
+        collect_metrics: bool = True,
+    ) -> RunResult:
+        """Run one configuration with observability attached.
+
+        Traced runs **bypass the cache entirely** — the tracer is not
+        part of the cache key, so storing (or serving) a traced result
+        would alias it with the untraced run.  The baseline profile is
+        still resolved through the normal cached path; only the traced
+        run itself always simulates.
+        """
+        with _Timer() as timer:
+            sim = self.simulator(workload)
+            baseline = None
+            if not request.is_baseline:
+                baseline = self.baseline(
+                    workload, request.memory_seed
+                ).baseline_profile()
+            result = sim.run(
+                make_options(
+                    request,
+                    baseline,
+                    tracer=tracer,
+                    collect_metrics=collect_metrics,
+                )
+            )
+        self.progress.record(
+            workload, request.config, "sim", timer.seconds, traced=True
+        )
+        if result.obs is not None:
+            self.progress.record_tracing(
+                result.obs.events_captured, result.obs.events_dropped
+            )
+        return result
 
     def baseline(self, workload: str, memory_seed: int = 0) -> RunResult:
         """The NoCkpt run of a workload (same memory seed as dependents)."""

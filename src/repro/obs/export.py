@@ -1,0 +1,238 @@
+"""Trace exporters: JSONL event logs and Chrome ``trace_event`` JSON.
+
+Two wire formats, one event stream:
+
+* **JSONL** — one ``event.to_dict()`` object per line; greppable,
+  streamable, and linted by :mod:`repro.obs.lint`;
+* **Chrome trace** — the ``trace_event`` format consumed by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``.  Checkpoint and
+  recovery episodes become ``B``/``E`` duration spans, slice
+  recomputations become ``X`` complete events on their core's track,
+  log-write and AddrMap activity become cumulative ``C`` counter
+  tracks, and interval boundaries become global instants.
+
+:func:`validate_chrome_trace` is a dependency-free structural check of
+the emitted document (the golden-export test and the CI smoke step run
+it), covering the subset of the ``trace_event`` schema we produce.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.obs.events import (
+    AddrMapEvict,
+    AddrMapHit,
+    AddrMapInsert,
+    CheckpointBegin,
+    CheckpointEnd,
+    IntervalBoundary,
+    LogWrite,
+    RecoveryBegin,
+    RecoveryEnd,
+    SliceRecompute,
+    TraceEvent,
+)
+
+__all__ = [
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+_PID = 1
+#: tid 0 is the machine-wide track; core ``k`` maps to tid ``k + 1``.
+_MACHINE_TID = 0
+
+_VALID_PHASES = {"B", "E", "X", "i", "C", "M"}
+
+
+def _us(ts_ns: float) -> float:
+    """trace_event timestamps are microseconds."""
+    return ts_ns / 1e3
+
+
+def write_jsonl(
+    events: Sequence[TraceEvent], path: Union[str, Path]
+) -> int:
+    """Write one JSON object per event to ``path``; returns the count."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict(), sort_keys=True))
+            fh.write("\n")
+    return len(events)
+
+
+def chrome_trace(
+    events: Sequence[TraceEvent], process_name: str = "acr-sim"
+) -> Dict[str, Any]:
+    """Render ``events`` as a Chrome ``trace_event`` JSON document."""
+    out: List[Dict[str, Any]] = []
+    used_tids = {_MACHINE_TID}
+
+    def base(ev: TraceEvent, tid: int) -> Dict[str, Any]:
+        used_tids.add(tid)
+        return {"ts": _us(ev.ts_ns), "pid": _PID, "tid": tid}
+
+    # Cumulative counter state.
+    log_taken = log_skipped = 0
+    am_inserts = am_evicts = am_hits = 0
+
+    for ev in sorted(events, key=lambda e: e.ts_ns):
+        if isinstance(ev, CheckpointBegin):
+            out.append({
+                **base(ev, _MACHINE_TID), "ph": "B", "cat": "ckpt",
+                "name": f"checkpoint {ev.index}",
+            })
+        elif isinstance(ev, CheckpointEnd):
+            out.append({
+                **base(ev, _MACHINE_TID), "ph": "E", "cat": "ckpt",
+                "name": f"checkpoint {ev.index}",
+                "args": {
+                    "logged_records": ev.logged_records,
+                    "omitted_records": ev.omitted_records,
+                    "logged_bytes": ev.logged_bytes,
+                    "flushed_bytes": ev.flushed_bytes,
+                },
+            })
+        elif isinstance(ev, RecoveryBegin):
+            out.append({
+                **base(ev, _MACHINE_TID), "ph": "B", "cat": "recovery",
+                "name": f"recovery {ev.error_index}",
+                "args": {"safe_checkpoint": ev.safe_checkpoint},
+            })
+        elif isinstance(ev, RecoveryEnd):
+            out.append({
+                **base(ev, _MACHINE_TID), "ph": "E", "cat": "recovery",
+                "name": f"recovery {ev.error_index}",
+                "args": {
+                    "waste_ns": ev.waste_ns,
+                    "rollback_ns": ev.rollback_ns,
+                    "recompute_ns": ev.recompute_ns,
+                },
+            })
+        elif isinstance(ev, IntervalBoundary):
+            out.append({
+                **base(ev, _MACHINE_TID), "ph": "i", "s": "g",
+                "cat": "ckpt", "name": f"interval {ev.index}",
+            })
+        elif isinstance(ev, SliceRecompute):
+            out.append({
+                **base(ev, ev.core + 1), "ph": "X", "cat": "recompute",
+                "name": f"slice {ev.slice_id}", "dur": _us(max(0.0, ev.ns)),
+            })
+        elif isinstance(ev, LogWrite):
+            if ev.taken:
+                log_taken += ev.size_bytes
+            else:
+                log_skipped += ev.size_bytes
+            out.append({
+                **base(ev, _MACHINE_TID), "ph": "C", "name": "log bytes",
+                "args": {"taken": log_taken, "skipped": log_skipped},
+            })
+        elif isinstance(ev, (AddrMapInsert, AddrMapEvict, AddrMapHit)):
+            if isinstance(ev, AddrMapInsert):
+                am_inserts += 1
+            elif isinstance(ev, AddrMapEvict):
+                am_evicts += 1
+            else:
+                am_hits += 1
+            out.append({
+                **base(ev, _MACHINE_TID), "ph": "C", "name": "addrmap",
+                "args": {
+                    "inserts": am_inserts,
+                    "evicts": am_evicts,
+                    "hits": am_hits,
+                },
+            })
+        # Unknown event types are skipped — exporters must tolerate a
+        # newer event vocabulary than they know how to visualise.
+
+    meta: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": _PID, "tid": _MACHINE_TID, "name": "process_name",
+        "args": {"name": process_name},
+    }]
+    for tid in sorted(used_tids):
+        label = "machine" if tid == _MACHINE_TID else f"core {tid - 1}"
+        meta.append({
+            "ph": "M", "pid": _PID, "tid": tid, "name": "thread_name",
+            "args": {"name": label},
+        })
+    return {
+        "traceEvents": meta + out,
+        "displayTimeUnit": "ns",
+        "otherData": {"generator": "acr-repro trace"},
+    }
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent],
+    path: Union[str, Path],
+    process_name: str = "acr-sim",
+) -> Path:
+    """Write the Chrome trace document for ``events``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(events, process_name)))
+    return path
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Structural check of a ``trace_event`` document we emitted.
+
+    Returns a list of problems (empty == valid): top-level shape, the
+    per-event required fields for each phase we produce, and balanced
+    ``B``/``E`` span nesting per (tid, name).
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        return ["document must be an object with a traceEvents list"]
+
+    open_spans: Dict[Any, int] = {}
+    for idx, ev in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{idx}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing name")
+        if not isinstance(ev.get("pid"), int):
+            errors.append(f"{where}: missing integer pid")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event needs non-negative dur")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                errors.append(
+                    f"{where}: C event needs numeric args series"
+                )
+        if ph == "i" and ev.get("s") not in ("g", "p", "t", None):
+            errors.append(f"{where}: invalid instant scope {ev.get('s')!r}")
+        if ph in ("B", "E"):
+            key = (ev.get("pid"), ev.get("tid"), ev.get("name"))
+            depth = open_spans.get(key, 0) + (1 if ph == "B" else -1)
+            if depth < 0:
+                errors.append(f"{where}: E without matching B for {key}")
+                depth = 0
+            open_spans[key] = depth
+    for key, depth in sorted(open_spans.items(), key=str):
+        if depth:
+            errors.append(f"unclosed span: {key} (depth {depth})")
+    return errors

@@ -1,0 +1,96 @@
+"""JSONL trace schema linter (library + ``python -m repro.obs.lint``).
+
+One trace event per line, each a JSON object with the wire ``name`` of
+a registered event type plus exactly that type's fields (see
+:data:`repro.obs.events.EVENT_TYPES`).  The CI smoke step runs this
+over a freshly exported trace so the JSONL contract cannot drift
+silently from the event dataclasses — the checks are derived from the
+dataclass fields, never hand-listed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import fields
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Type, Union
+
+from repro.obs.events import EVENT_TYPES, TraceEvent
+
+__all__ = ["lint_event_dict", "lint_jsonl", "main"]
+
+#: Per-event required keys (the wire name plus every dataclass field).
+_SCHEMAS: Dict[str, Tuple[Type[TraceEvent], frozenset]] = {
+    name: (cls, frozenset(f.name for f in fields(cls)))
+    for name, cls in EVENT_TYPES.items()
+}
+
+
+def lint_event_dict(obj: object, where: str = "event") -> List[str]:
+    """Problems with one decoded JSONL event object (empty == valid)."""
+    if not isinstance(obj, dict):
+        return [f"{where}: not a JSON object"]
+    name = obj.get("name")
+    if name not in _SCHEMAS:
+        return [f"{where}: unknown event name {name!r}"]
+    _, required = _SCHEMAS[name]
+    errors: List[str] = []
+    present = set(obj) - {"name"}
+    for missing in sorted(required - present):
+        errors.append(f"{where}: {name} missing field {missing!r}")
+    for extra in sorted(present - required):
+        errors.append(f"{where}: {name} has unknown field {extra!r}")
+    ts = obj.get("ts_ns")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        errors.append(f"{where}: ts_ns must be a non-negative number")
+    core = obj.get("core")
+    if not isinstance(core, int) or isinstance(core, bool) or core < -1:
+        errors.append(f"{where}: core must be an int >= -1")
+    return errors
+
+
+def lint_jsonl(path: Union[str, Path]) -> Tuple[int, List[str]]:
+    """Lint a JSONL trace file; returns ``(event_count, problems)``."""
+    path = Path(path)
+    errors: List[str] = []
+    count = 0
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        return 0, [f"{path}: unreadable: {exc}"]
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            errors.append(f"{path}:{lineno}: blank line")
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{path}:{lineno}: invalid JSON: {exc.msg}")
+            continue
+        count += 1
+        errors.extend(lint_event_dict(obj, where=f"{path}:{lineno}"))
+    return count, errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: lint each given JSONL file; exit 1 on any problem."""
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print("usage: python -m repro.obs.lint TRACE.jsonl [...]",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        count, errors = lint_jsonl(path)
+        for err in errors:
+            print(err, file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            print(f"{path}: ok ({count} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    sys.exit(main())

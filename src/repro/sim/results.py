@@ -15,6 +15,8 @@ from typing import Any, Dict, List, Optional
 
 from repro.compiler.embed import CompileStats
 from repro.energy.accounting import EnergyLedger
+from repro.obs.metrics import ObsReport
+from repro.util.tables import format_table
 
 __all__ = [
     "BaselineProfile",
@@ -163,6 +165,10 @@ class RunResult:
     #: Kept for post-run verification: tests recompute every retained
     #: omitted value and compare against ground truth.
     checkpoint_store: object = None
+    #: Observability payload — present only when the run collected
+    #: metrics (``collect_metrics=True`` or an enabled tracer attached).
+    #: Default/untraced runs carry ``None`` and serialise it as such.
+    obs: Optional[ObsReport] = None
 
     # -- core quantities -----------------------------------------------------
     @property
@@ -262,6 +268,7 @@ class RunResult:
             "addrmap_rejections": self.addrmap_rejections,
             "omissions": self.omissions,
             "omission_lookups": self.omission_lookups,
+            "obs": self.obs.to_dict() if self.obs is not None else None,
         }
 
     @classmethod
@@ -282,6 +289,7 @@ class RunResult:
                 RecoveryStats.from_dict(d) for d in data.pop("recoveries")
             ]
             compile_raw = data.pop("compile_stats")
+            obs_raw = data.pop("obs")
         except AttributeError as exc:  # e.g. a list where a dict belongs
             raise ValueError(f"RunResult: malformed nested payload: {exc}")
         compile_stats = (
@@ -289,6 +297,7 @@ class RunResult:
             if compile_raw is not None
             else None
         )
+        obs = ObsReport.from_dict(obs_raw) if obs_raw is not None else None
         result = _dataclass_from_dict(
             cls,
             dict(
@@ -297,6 +306,7 @@ class RunResult:
                 intervals=intervals,
                 recoveries=recoveries,
                 compile_stats=compile_stats,
+                obs=obs,
             ),
         )
         return result
@@ -310,15 +320,35 @@ class RunResult:
         """
         return self.to_dict() == other.to_dict()
 
-    def describe(self) -> str:  # pragma: no cover - convenience output
-        """One-line human summary."""
-        return (
-            f"{self.label}: wall={self.wall_ns / 1e3:.1f}us "
-            f"useful={self.useful_ns / 1e3:.1f}us "
-            f"ckpts={self.checkpoint_count} "
-            f"ckpt_data={self.total_checkpoint_bytes / 1024:.1f}KiB "
-            f"recoveries={self.recovery_count} "
-            f"energy={self.energy_pj / 1e6:.2f}uJ"
+    def describe(self) -> str:
+        """Human summary of the run, rendered as an aligned table.
+
+        Always includes the headline quantities; the ``trace events``
+        row appears only when the run carried an observability payload.
+        """
+        scheme = self.scheme + ("+ACR" if self.acr else "")
+        rows: List[List[object]] = [
+            ["scheme", scheme],
+            ["cores", self.num_cores],
+            ["wall (us)", self.wall_ns / 1e3],
+            ["useful (us)", self.useful_ns / 1e3],
+            ["overhead (us)", self.overhead_ns / 1e3],
+            ["checkpoints", self.checkpoint_count],
+            ["ckpt data (KiB)", self.total_checkpoint_bytes / 1024],
+            ["recoveries", self.recovery_count],
+            ["energy (uJ)", self.energy_pj / 1e6],
+            ["instructions", self.instructions],
+        ]
+        if self.obs is not None:
+            rows.append(
+                [
+                    "trace events",
+                    f"{self.obs.events_captured} captured / "
+                    f"{self.obs.events_dropped} dropped",
+                ]
+            )
+        return format_table(
+            ["metric", "value"], rows, title=f"run {self.label}"
         )
 
 

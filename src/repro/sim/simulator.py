@@ -59,6 +59,16 @@ from repro.errors.injection import ErrorSchedule, NoErrors
 from repro.errors.model import ErrorModel, ErrorOccurrence
 from repro.isa.interpreter import Interpreter, LoadEvent, StoreEvent
 from repro.isa.program import Program
+from repro.obs.events import (
+    CheckpointBegin,
+    CheckpointEnd,
+    IntervalBoundary,
+    LogWrite,
+    RecoveryBegin,
+    RecoveryEnd,
+)
+from repro.obs.metrics import MetricsRegistry, ObsReport
+from repro.obs.tracer import Tracer
 from repro.sim.machine import Machine
 from repro.sim.results import (
     BaselineProfile,
@@ -96,6 +106,14 @@ class SimulationOptions:
     #: one at the baseline's useful end).  ``None`` = uniform placement.
     #: Used by the recomputation-aware placement extension.
     boundaries: Optional[Sequence[float]] = None
+    #: Event sink for the observability layer.  ``None`` (or a disabled
+    #: tracer such as :class:`~repro.obs.tracer.NullTracer`) keeps the
+    #: simulator on its untraced fast path — results are bit-identical
+    #: to an uninstrumented run.
+    tracer: Optional[Tracer] = None
+    #: Collect aggregate counters/histograms into ``RunResult.obs``
+    #: (implied whenever an enabled tracer is attached).
+    collect_metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.scheme not in _SCHEMES:
@@ -160,6 +178,19 @@ class _Run:
         self.energy = sim.energy_model
         n = self.config.num_cores
 
+        # Observability: hoist the enabled-check once so a disabled
+        # tracer (the default) keeps every hot path un-instrumented.
+        tracer = options.tracer
+        self.trace: Optional[Tracer] = (
+            tracer if (tracer is not None and tracer.enabled) else None
+        )
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry()
+            if (options.collect_metrics or self.trace is not None)
+            else None
+        )
+        observing = self.trace is not None or self.metrics is not None
+
         # Compile (ACR) or use the plain programs.
         self.compile_stats: Optional[CompileStats] = None
         if options.acr:
@@ -177,9 +208,13 @@ class _Run:
 
         # Checkpointing machinery.
         self.ckpt_enabled = options.scheme != "none"
-        self.store = CheckpointStore(self.config.arch_state_bytes, n)
+        self.store = CheckpointStore(
+            self.config.arch_state_bytes, n,
+            log_observer=self._on_log_append if observing else None,
+        )
         self.cost_model = CheckpointCostModel(
-            self.config, self.machine.noc, self.machine.memsys, self.energy
+            self.config, self.machine.noc, self.machine.memsys, self.energy,
+            metrics=self.metrics,
         )
         self.recovery_engine = RecoveryEngine(
             self.config, self.machine.memsys, self.energy
@@ -187,6 +222,10 @@ class _Run:
         self.coordinator = (
             LocalCoordinator(n) if options.scheme == "local" else GlobalCoordinator(n)
         )
+        if self.handler is not None and observing:
+            self.handler.attach_observability(
+                self.trace, self.metrics, self._core_now
+            )
 
         # Per-core clocks (ns).
         self.useful = [0.0] * n
@@ -229,6 +268,40 @@ class _Run:
         self.timing = self.machine.timing
 
     # ------------------------------------------------------------ observers --
+    def _core_now(self, core: int) -> float:
+        """``core``'s current simulated wall time (chunk-granular).
+
+        Includes the pending stall accumulators so events emitted inside
+        a chunk land between the chunk's start and end times.
+        """
+        return (
+            self.useful[core]
+            + self.overhead[core]
+            + self._pending_useful[core]
+            + self._pending_overhead[core]
+        )
+
+    def _on_log_append(self, rec, omitted: bool) -> None:
+        """Observe one first-modification reaching the interval log."""
+        metrics = self.metrics
+        if metrics is not None:
+            if omitted:
+                metrics.counter("log.writes_skipped").inc()
+                metrics.counter("log.bytes_skipped").inc(LOG_RECORD_BYTES)
+            else:
+                metrics.counter("log.writes_taken").inc()
+                metrics.counter("log.bytes_taken").inc(LOG_RECORD_BYTES)
+        if self.trace is not None:
+            core = rec.core
+            self.trace.emit(LogWrite(
+                ts_ns=self._core_now(core),
+                core=core,
+                address=rec.address,
+                line=rec.address // self._line_bytes,
+                size_bytes=LOG_RECORD_BYTES,
+                taken=not omitted,
+            ))
+
     def _on_load(self, ev: LoadEvent) -> None:
         core = ev.thread
         access = self.machine.hierarchies[core].access(ev.address, False)
@@ -296,6 +369,18 @@ class _Run:
         clusters = self.coordinator.clusters(self.machine.directory)
         log = self.store.current_log
 
+        index = len(self.intervals)
+        observing = self.trace is not None or self.metrics is not None
+        wall_before = 0.0
+        if observing:
+            wall_before = max(
+                self.useful[c] + self.overhead[c] for c in range(n)
+            )
+            if self.trace is not None:
+                self.trace.emit(CheckpointBegin(
+                    ts_ns=wall_before, core=-1, index=index,
+                ))
+
         boundary_ns_max = 0.0
         flushed_bytes = 0
         for cluster in clusters:
@@ -345,6 +430,32 @@ class _Run:
                 footprint_bytes=len(self.machine.memory) * 8,
             )
         )
+        if observing:
+            if self.trace is not None:
+                self.trace.emit(IntervalBoundary(
+                    ts_ns=useful_mark_ns, core=-1, index=index,
+                ))
+                self.trace.emit(CheckpointEnd(
+                    ts_ns=wall_ns,
+                    core=-1,
+                    index=index,
+                    duration_ns=wall_ns - wall_before,
+                    logged_records=len(log.records),
+                    omitted_records=len(log.omitted),
+                    logged_bytes=log.logged_bytes,
+                    flushed_bytes=flushed_bytes,
+                ))
+            if self.metrics is not None:
+                m = self.metrics
+                m.counter("ckpt.count").inc()
+                m.histogram("ckpt.logged_bytes").observe(log.logged_bytes)
+                m.histogram("ckpt.boundary_ns").observe(boundary_ns_max)
+                if self.handler is not None:
+                    m.histogram("addrmap.occupancy").observe(sum(
+                        a.open_size + a.committed_size
+                        for a in self.handler.addrmaps
+                    ))
+                m.snapshot_interval(index)
         self.store.establish(useful_mark_ns, wall_ns)
         self.machine.directory.clear_log_bits()
         self.machine.directory.clear_interval_tracking()
@@ -379,12 +490,38 @@ class _Run:
 
         wall_now = max(self.useful[c] + self.overhead[c] for c in participants)
         waste_ns = max(0.0, wall_now - safe_wall)
+        if self.trace is not None:
+            self.trace.emit(RecoveryBegin(
+                ts_ns=wall_now,
+                core=err_core,
+                error_index=error_index,
+                safe_checkpoint=choice.checkpoint_index,
+            ))
         costs = self.recovery_engine.recovery_costs(
-            logs, participants, self.machine.ledger
+            logs, participants, self.machine.ledger,
+            tracer=self.trace, metrics=self.metrics, ts_ns=wall_now,
         )
         new_wall = wall_now + waste_ns + costs.total_ns
         for c in participants:
             self.overhead[c] = new_wall - self.useful[c]
+        if self.trace is not None:
+            self.trace.emit(RecoveryEnd(
+                ts_ns=new_wall,
+                core=err_core,
+                error_index=error_index,
+                duration_ns=new_wall - wall_now,
+                waste_ns=waste_ns,
+                rollback_ns=costs.rollback_ns,
+                recompute_ns=costs.recompute_ns,
+            ))
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("recovery.count").inc()
+            m.counter("recovery.restored_records").inc(costs.restored_records)
+            m.counter("recovery.recomputed_values").inc(costs.recomputed_values)
+            m.histogram("recovery.total_ns").observe(
+                waste_ns + costs.total_ns
+            )
 
         self.recoveries.append(
             RecoveryStats(
@@ -506,6 +643,14 @@ class _Run:
 
         ledger.add("static.leakage", energy.leakage_pj(n, wall_ns))
 
+        obs: Optional[ObsReport] = None
+        if self.metrics is not None:
+            obs = ObsReport(
+                metrics=self.metrics,
+                events_captured=getattr(self.trace, "captured", 0),
+                events_dropped=getattr(self.trace, "dropped", 0),
+            )
+
         handler = self.handler
         return RunResult(
             label=self.options.label,
@@ -537,6 +682,7 @@ class _Run:
             omissions=handler.omissions if handler else 0,
             omission_lookups=handler.omission_lookups if handler else 0,
             checkpoint_store=self.store,
+            obs=obs,
         )
 
 

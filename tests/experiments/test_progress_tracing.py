@@ -1,0 +1,73 @@
+"""Tests for tracing-aware progress reporting and ``run_traced``."""
+
+from repro.experiments.progress import ProgressTracker, RunRecord
+from repro.experiments.runner import ExperimentRunner
+from repro.obs.tracer import RecordingTracer
+
+
+class TestProgressTracker:
+    def test_traced_flag_and_echo_suffix(self):
+        lines = []
+        tracker = ProgressTracker(echo=lines.append)
+        tracker.record("bt", "ReCkpt_E", "sim", 0.1, traced=True)
+        tracker.record("bt", "Ckpt_NE", "sim", 0.1)
+        assert tracker.traced_runs == 1
+        assert lines[0].endswith(" +trace")
+        assert not lines[1].endswith(" +trace")
+
+    def test_record_defaults_to_untraced(self):
+        rec = RunRecord("bt", "Ckpt_NE", "disk", 0.0)
+        assert rec.traced is False
+
+    def test_tracing_accumulators_and_summary(self):
+        tracker = ProgressTracker()
+        assert "trace:" not in tracker.summary_table()
+        tracker.record_tracing(100, 5)
+        tracker.record_tracing(50, 0)
+        assert tracker.events_captured == 150
+        assert tracker.events_dropped == 5
+        line = tracker.tracing_line()
+        assert line == "trace: 150 events captured / 5 dropped"
+        assert line in tracker.summary_table()
+
+    def test_reset_clears_tracing_counters(self):
+        tracker = ProgressTracker()
+        tracker.record_tracing(10, 1)
+        tracker.reset()
+        assert tracker.events_captured == 0
+        assert tracker.events_dropped == 0
+
+
+class TestRunTraced:
+    def test_traced_run_bypasses_cache(self, tmp_path):
+        runner = ExperimentRunner(
+            num_cores=2, region_scale=0.1, reps=8,
+            cache_dir=tmp_path / "cache",
+        )
+        request = runner.default_request("is", "ReCkpt_E", num_checkpoints=4)
+        tracer = RecordingTracer()
+        traced = runner.run_traced("is", request, tracer=tracer)
+        assert traced.obs is not None
+        assert tracer.captured > 0
+        # The traced result must not be stored under the untraced key:
+        # a later plain run simulates (or disk-misses) and carries no obs.
+        key = runner.cache_key("is", request)
+        cached = runner.cache.load(key)
+        assert cached is None or cached.obs is None
+        plain = runner.run("is", request)
+        assert plain.obs is None
+        # ... and it is statistically identical apart from the payload.
+        doc = traced.to_dict()
+        doc.pop("obs")
+        plain_doc = plain.to_dict()
+        plain_doc.pop("obs")
+        assert doc == plain_doc
+
+    def test_traced_run_feeds_progress(self):
+        runner = ExperimentRunner(num_cores=2, region_scale=0.1, reps=8)
+        request = runner.default_request("is", "ReCkpt_E", num_checkpoints=4)
+        tracer = RecordingTracer(capacity=20)
+        runner.run_traced("is", request, tracer=tracer)
+        assert runner.progress.traced_runs == 1
+        assert runner.progress.events_captured == 20
+        assert runner.progress.events_dropped == tracer.dropped > 0

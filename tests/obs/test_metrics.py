@@ -1,0 +1,145 @@
+"""Tests for counters, histograms, the registry and ObsReport."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    ObsReport,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestHistogram:
+    def test_bucketing_with_overflow(self):
+        h = Histogram("h", (1.0, 10.0, 100.0))
+        for v in (0.5, 1.0, 5.0, 100.0, 1e6):
+            h.observe(v)
+        # counts[i] holds values <= buckets[i]; last slot is overflow.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.min == 0.5
+        assert h.max == 1e6
+        assert h.mean == pytest.approx((0.5 + 1 + 5 + 100 + 1e6) / 5)
+
+    def test_empty_histogram(self):
+        h = Histogram("h", (1.0,))
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.min is None and h.max is None
+
+    def test_bad_edges_rejected(self):
+        for edges in ((), (2.0, 1.0), (1.0, 1.0)):
+            with pytest.raises(ValueError):
+                Histogram("h", edges)
+
+
+class TestMetricsRegistry:
+    def test_auto_creation_and_reuse(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_default_buckets_apply_by_name(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("recovery.slice_length")
+        assert h.buckets == DEFAULT_BUCKETS["recovery.slice_length"]
+
+    def test_interval_snapshots_record_deltas(self):
+        reg = MetricsRegistry()
+        reg.counter("log.writes_taken").inc(10)
+        snap0 = reg.snapshot_interval(0)
+        reg.counter("log.writes_taken").inc(3)
+        reg.counter("log.writes_skipped").inc(2)
+        snap1 = reg.snapshot_interval(1)
+        assert snap0 == {"index": 0, "log.writes_taken": 10}
+        assert snap1 == {
+            "index": 1, "log.writes_taken": 3, "log.writes_skipped": 2,
+        }
+        # Zero deltas stay out of the snapshot.
+        snap2 = reg.snapshot_interval(2)
+        assert snap2 == {"index": 2}
+        assert reg.intervals == [snap0, snap1, snap2]
+
+    def test_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(7)
+        reg.histogram("ckpt.logged_bytes").observe(1024)
+        reg.histogram("custom", buckets=(1.0, 2.0)).observe(5.0)
+        reg.snapshot_interval(0)
+        back = MetricsRegistry.from_dict(reg.to_dict())
+        assert back.to_dict() == reg.to_dict()
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.update(extra=1),
+        lambda d: d.pop("counters"),
+        lambda d: d["counters"].update(bad="x"),
+        lambda d: d.__setitem__("counters", [1]),
+        lambda d: d.__setitem__("histograms", "nope"),
+        lambda d: d["histograms"]["h"].pop("counts"),
+        lambda d: d["histograms"]["h"].__setitem__("counts", [1]),
+        lambda d: d["histograms"]["h"].__setitem__("count", 99),
+        lambda d: d.__setitem__("intervals", {"not": "a list"}),
+        lambda d: d.__setitem__("intervals", [{"no_index": 1}]),
+    ])
+    def test_corrupt_payloads_raise(self, mutate):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        reg.snapshot_interval(0)
+        doc = reg.to_dict()
+        mutate(doc)
+        with pytest.raises((ValueError, TypeError, KeyError)):
+            MetricsRegistry.from_dict(doc)
+
+    def test_summary_table_renders(self):
+        reg = MetricsRegistry()
+        assert reg.summary_table() == "no metrics recorded"
+        reg.counter("a").inc(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        reg.snapshot_interval(0)
+        table = reg.summary_table()
+        assert "counters" in table
+        assert "histograms" in table
+        assert "interval snapshots: 1" in table
+
+
+class TestObsReport:
+    def test_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        report = ObsReport(metrics=reg, events_captured=10, events_dropped=2)
+        back = ObsReport.from_dict(report.to_dict())
+        assert back.to_dict() == report.to_dict()
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.pop("metrics"),
+        lambda d: d.pop("events_captured"),
+        lambda d: d.update(surprise=1),
+        lambda d: d.__setitem__("events_captured", -1),
+        lambda d: d.__setitem__("events_dropped", "many"),
+        lambda d: d.__setitem__("events_dropped", True),
+        lambda d: d.__setitem__("metrics", [1, 2]),
+    ])
+    def test_corrupt_payloads_raise(self, mutate):
+        doc = ObsReport().to_dict()
+        mutate(doc)
+        with pytest.raises((ValueError, TypeError, KeyError)):
+            ObsReport.from_dict(doc)
+
+    def test_summary_ends_with_capture_line(self):
+        report = ObsReport(events_captured=5, events_dropped=1)
+        assert report.summary_table().endswith(
+            "events: 5 captured / 1 dropped"
+        )

@@ -107,6 +107,39 @@ class TestRunResult:
         assert prof.per_core_useful_ns == [70.0, 80.0]
 
 
+class TestDescribe:
+    def test_renders_headline_quantities(self):
+        r = make_result(
+            label="ReCkpt_E",
+            acr=True,
+            intervals=[interval(0, 10, 0), interval(1, 4, 6)],
+        )
+        out = r.describe()
+        assert out.startswith("run ReCkpt_E")
+        assert "global+ACR" in out
+        assert "checkpoints" in out
+        # wall 200 ns = 0.20 us; total energy 1000 pJ = 0.00 uJ (2 dp).
+        assert "0.20" in out
+        lines = out.splitlines()
+        assert all("|" in line for line in lines[1:] if "-+-" not in line)
+
+    def test_scheme_without_acr_is_plain(self):
+        out = make_result(label="Ckpt_NE").describe()
+        assert "global" in out
+        assert "+ACR" not in out
+        assert "trace events" not in out
+
+    def test_obs_row_appears_only_when_present(self):
+        from repro.obs.metrics import ObsReport
+
+        r = make_result(
+            obs=ObsReport(events_captured=12, events_dropped=3)
+        )
+        out = r.describe()
+        assert "trace events" in out
+        assert "12 captured / 3 dropped" in out
+
+
 class TestIntervalStats:
     def test_reduction(self):
         iv = interval(0, 3, 1)

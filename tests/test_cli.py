@@ -67,6 +67,68 @@ class TestCommands:
         assert "level-2 drain" in out
 
 
+class TestTraceAndStats:
+    def test_trace_exports_valid_chrome_and_jsonl(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+        from repro.obs.lint import lint_jsonl
+
+        out = tmp_path / "run.trace.json"
+        jsonl = tmp_path / "run.trace.jsonl"
+        assert main(
+            ["trace", "is", "ReCkpt_E", "--checkpoints", "5",
+             "--out", str(out), "--jsonl", str(jsonl)] + SMALL
+        ) == 0
+        text = capsys.readouterr().out
+        assert "run ReCkpt_E" in text
+        assert "perfetto" in text.lower()
+        assert "captured" in text
+
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        names = {e.get("name") for e in doc["traceEvents"]}
+        assert "checkpoint 0" in names
+        assert "log bytes" in names
+        assert "addrmap" in names
+        assert any(n.startswith("recovery") for n in names)
+
+        count, errors = lint_jsonl(jsonl)
+        assert errors == []
+        assert count > 0
+
+    def test_trace_limit_caps_capture(self, tmp_path, capsys):
+        import re
+
+        out = tmp_path / "t.json"
+        assert main(
+            ["trace", "is", "ReCkpt_E", "--checkpoints", "5",
+             "--out", str(out), "--limit", "10"] + SMALL
+        ) == 0
+        text = capsys.readouterr().out
+        match = re.search(r"10 captured / (\d+) dropped", text)
+        assert match, text
+        assert int(match.group(1)) > 0  # the rest was counted as dropped
+
+    def test_trace_default_config(self, tmp_path):
+        args = build_parser().parse_args(
+            ["trace", "is", "--out", str(tmp_path / "t.json")]
+        )
+        assert args.config == "ReCkpt_E"
+
+    def test_stats_prints_metric_tables(self, capsys):
+        assert main(
+            ["stats", "is", "ReCkpt_E", "--checkpoints", "5"] + SMALL
+        ) == 0
+        text = capsys.readouterr().out
+        assert "run ReCkpt_E" in text
+        assert "counters" in text
+        assert "histograms" in text
+        assert "log.writes_taken" in text
+        assert "ckpt.logged_bytes" in text
+        assert "events: 0 captured / 0 dropped" in text
+
+
 class TestLintCommand:
     TINY = ["--scale", "0.1", "--reps", "8"]
 

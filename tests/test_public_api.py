@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.util",
     "repro.verify",
+    "repro.obs",
 ]
 
 
