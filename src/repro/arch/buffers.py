@@ -140,6 +140,35 @@ class AddrMap:
             return []
         return list(self._committed[-generations_back].entries.values())
 
+    # -- fault-injection access ----------------------------------------------
+    def committed_entries(self) -> List[AddrMapEntry]:
+        """Every entry across retained committed generations, youngest
+        generation first (the order :meth:`committed_lookup` scans).
+
+        Used by the fault-injection harness to pick operand snapshots to
+        corrupt; lookups are unaffected.
+        """
+        out: List[AddrMapEntry] = []
+        for gen in reversed(self._committed):
+            out.extend(gen.entries.values())
+        return out
+
+    def swap_committed(self, old: AddrMapEntry, new: AddrMapEntry) -> bool:
+        """Replace one committed entry *object* with another (same address).
+
+        Models a bit flip inside the stored operand snapshot: the entry's
+        identity changes but its lookup key does not.  Matching is by
+        object identity — two distinct associations can be field-equal.
+        Returns ``False`` when ``old`` is not resident (already expired).
+        """
+        if new.address != old.address:
+            raise ValueError("swap_committed must preserve the address key")
+        for gen in reversed(self._committed):
+            if gen.entries.get(old.address) is old:
+                gen.entries[old.address] = new
+                return True
+        return False
+
     @property
     def open_size(self) -> int:
         """Entries in the open generation (tombstones excluded)."""

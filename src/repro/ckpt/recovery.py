@@ -90,7 +90,12 @@ class RecoveryEngine:
         recompute-latency histograms.
         """
         cfg = self.config
-        members = set(participants)
+        # Normalize once at entry: a caller passing duplicate core ids
+        # (e.g. a communication group assembled from per-access lists)
+        # must not inflate per-core tallies — each participant core
+        # restores its log partition and architectural state exactly once.
+        members = frozenset(participants)
+        participants = sorted(members)
 
         # --- o_roll-back: log read + old-value write-back + arch restore.
         read_bytes_per_core: Dict[int, int] = {}

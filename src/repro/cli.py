@@ -17,7 +17,11 @@ Installed as ``acr-repro`` (or run with ``python -m repro.cli``):
   tracer attached; export a Chrome ``trace_event`` file (load it at
   https://ui.perfetto.dev) and optionally the raw JSONL event stream;
 * ``acr-repro stats bt``          — run with metrics collection only and
-  print the counter/histogram summary tables.
+  print the counter/histogram summary tables;
+* ``acr-repro inject``            — fault-injection campaign: flip real
+  bits in live mechanism state, drive detection → rollback → Slice
+  recomputation, and verify recovery bit-exactly against a golden
+  re-execution (exit 1 unless every trial recovers exactly).
 """
 
 from __future__ import annotations
@@ -42,6 +46,8 @@ from repro.compiler.embed import compile_program
 from repro.compiler.policy import ThresholdPolicy
 from repro.experiments.configs import CONFIG_NAMES
 from repro.experiments.runner import ExperimentRunner
+from repro.inject.campaign import build_trials, run_campaign
+from repro.inject.harness import CONFIGS, DEFECTS, TARGET_KINDS
 from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.obs.tracer import RecordingTracer
 from repro.util.tables import format_table
@@ -61,6 +67,22 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _name_list(allowed):
+    """An argparse type: comma-separated subset of ``allowed`` names."""
+
+    def parse(text: str) -> List[str]:
+        parts = [p.strip() for p in text.split(",") if p.strip()]
+        bad = [p for p in parts if p not in allowed]
+        if not parts or bad:
+            raise argparse.ArgumentTypeError(
+                f"expected comma-separated names from {allowed}, "
+                f"got {text!r}"
+            )
+        return parts
+
+    return parse
 
 
 def _rule_list(text: str) -> List[str]:
@@ -301,6 +323,48 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_inject(args) -> int:
+    known = all_workload_names()
+    unknown = [b for b in args.benchmarks if b not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s) {', '.join(unknown)} "
+            f"(choose from {', '.join(known)})"
+        )
+    specs = build_trials(
+        args.benchmarks or all_workload_names(),
+        trials=args.trials,
+        seed=args.seed,
+        configs=args.configs,
+        targets=args.targets,
+        num_cores=args.cores,
+        steps_per_interval=args.steps_per_interval,
+        iters_per_step=args.iters_per_step,
+        region_scale=args.scale,
+        reps=args.reps,
+        detection_latency_fraction=args.latency,
+        defect=args.defect,
+    )
+    runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    report = run_campaign(runner, specs)
+    print(report.summary_table())
+    for trial in report.divergent_trials()[:8]:
+        d = trial.divergences[0]
+        print(
+            f"  diverged: {trial.spec.workload}/{trial.spec.config} "
+            f"seed {trial.spec.seed} target {trial.injection.kind} — "
+            f"address {d.address:#x} (interval {d.interval}, {d.phase}) "
+            f"expected {d.expected:#x} got {d.actual:#x}"
+            + (f" [{trial.detail}]" if trial.detail else "")
+        )
+    print(report.verdict_line())
+    print(runner.progress.summary_line())
+    if args.json:
+        report.write_json(args.json)
+        print(f"json report: {args.json}")
+    return 0 if report.ok else 1
+
+
 def cmd_baselines(args) -> int:
     runner = _runner(args)
     for config in ("Ckpt_NE", "ReCkpt_NE"):
@@ -411,6 +475,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--errors", type=int, default=1)
     _add_common(p)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "inject",
+        help="fault-injection campaign: flip bits in live state, recover, "
+             "verify bit-exactly (exit 1 on any divergence)",
+    )
+    # No ``choices=`` here: argparse rejects the empty default against a
+    # choices list when ``nargs="*"``; cmd_inject validates names instead.
+    p.add_argument("benchmarks", nargs="*", metavar="benchmark",
+                   help="benchmarks to sweep (default: all)")
+    p.add_argument("--trials", type=_positive_int, default=8,
+                   help="trials per configuration (workloads and targets "
+                        "rotate round-robin)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; trial i uses seed + i")
+    p.add_argument("--configs", type=_name_list(CONFIGS), default=CONFIGS,
+                   metavar="NAMES", help="comma-separated subset of "
+                                         f"{','.join(CONFIGS)}")
+    p.add_argument("--targets", type=_name_list(TARGET_KINDS),
+                   default=TARGET_KINDS, metavar="KINDS",
+                   help="comma-separated subset of "
+                        f"{','.join(TARGET_KINDS)}")
+    p.add_argument("--cores", type=_positive_int, default=2)
+    p.add_argument("--steps-per-interval", type=_positive_int, default=4)
+    p.add_argument("--iters-per-step", type=_positive_int, default=8)
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="workload region scale (trials favour small, "
+                        "many-seed sweeps)")
+    p.add_argument("--reps", type=int, default=4)
+    p.add_argument("--latency", type=float, default=0.5,
+                   help="detection latency as a fraction of the "
+                        "checkpoint period (0..1)")
+    p.add_argument("--defect", choices=DEFECTS, default=None,
+                   help="seed a deliberate recovery defect — the campaign "
+                        "should then FAIL with divergence provenance")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes for independent trials")
+    p.add_argument("--cache-dir", type=str, default=None,
+                   help="persist per-trial results here (content-"
+                        "addressed, versioned)")
+    p.add_argument("--json", type=str, default=None,
+                   help="also write the machine-readable report here")
+    p.set_defaults(func=cmd_inject)
 
     p = sub.add_parser("baselines", help="what-if checkpointing baselines")
     p.add_argument("benchmark", choices=all_workload_names())

@@ -43,6 +43,20 @@ def choose_safe_checkpoint(
     checkpoint in ``(occurred, detected]`` is suspect.  Checkpoints are
     only considered if established before detection (later ones cannot
     exist yet at recovery time).
+
+    Boundary tie-breaks (both pinned by regression tests):
+
+    * ``occurred == checkpoint time`` — the checkpoint captured the
+      machine state *at* the occurrence instant, i.e. before the error
+      could corrupt anything (Fig. 2 draws occurrence strictly inside an
+      interval; the boundary case degenerates to "error at interval
+      start").  The boundary checkpoint is **safe** and must not be
+      skipped as corrupted — ``bisect_right`` includes it.
+    * ``detected == checkpoint time`` — a checkpoint established at the
+      detection instant is treated as existing (and suspect unless it is
+      also at/before the occurrence).  With detection latency exactly one
+      period this keeps the safe choice at ``len − 2``, inside the
+      two-checkpoint retention horizon.
     """
     times = list(checkpoint_times)
     if sorted(times) != times:

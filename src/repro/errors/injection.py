@@ -57,7 +57,18 @@ class UniformErrors:
 
 @dataclass(frozen=True)
 class PoissonErrors:
-    """Poisson arrivals with a mean of ``expected_count`` errors per run."""
+    """Poisson arrivals with a mean of ``expected_count`` errors per run.
+
+    Guarantees (the recovery pipeline depends on all three):
+
+    * every time lies strictly within ``[0, total_useful_ns)`` — an
+      arrival at exactly 0 would "occur" before any work exists to
+      corrupt, and one at/after the end could never be detected;
+    * times are strictly increasing — ``expovariate`` can return 0.0
+      (its support is closed at zero), which would otherwise produce
+      duplicate occurrence timestamps; zero gaps are resampled;
+    * the sequence is a pure function of ``seed``.
+    """
 
     expected_count: float
     seed: int = 0
@@ -72,8 +83,14 @@ class PoissonErrors:
         rng = DeterministicRng(self.seed, "poisson-errors")
         rate = self.expected_count / total_useful_ns
         times: List[float] = []
-        t = rng.expovariate(rate)
-        while t < total_useful_ns:
-            times.append(t)
-            t += rng.expovariate(rate)
-        return times
+        t = 0.0
+        while True:
+            gap = rng.expovariate(rate)
+            while gap <= 0.0:  # resample degenerate arrivals
+                gap = rng.expovariate(rate)
+            advanced = t + gap
+            if advanced >= total_useful_ns:
+                return times
+            if advanced > t:  # float absorption can swallow a tiny gap
+                t = advanced
+                times.append(t)

@@ -33,12 +33,25 @@ from repro.arch.config import MachineConfig
 from repro.experiments.configs import ConfigRequest
 from repro.sim.results import RunResult
 
-__all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "run_cache_key"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "KIND_RUN",
+    "KIND_TRIAL",
+    "ResultCache",
+    "run_cache_key",
+    "trial_cache_key",
+]
 
-#: Bump when the serialised :class:`RunResult` layout (or anything about
-#: how keys are derived) changes; old entries then read as misses.
+#: Bump when any serialised payload layout (or anything about how keys
+#: are derived) changes; old entries then read as misses.
 #: v2: ``RunResult.to_dict`` gained the (nullable) ``obs`` payload.
-CACHE_SCHEMA_VERSION = 2
+#: v3: the envelope gained a ``kind`` discriminator ("run" simulation
+#:     results vs "inject-trial" fault-injection trial results).
+CACHE_SCHEMA_VERSION = 3
+
+#: Envelope payload kinds the cache stores.
+KIND_RUN = "run"
+KIND_TRIAL = "inject-trial"
 
 
 def _package_version() -> str:
@@ -69,11 +82,30 @@ def run_cache_key(
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
         "code": _package_version(),
+        "kind": KIND_RUN,
         "workload": workload,
         "request": request.canonical_key(),
         "machine": dataclasses.asdict(machine),
         "region_scale": repr(float(region_scale)),
         "reps": reps,
+    }
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def trial_cache_key(spec: Any) -> str:
+    """The content hash identifying one fault-injection trial.
+
+    ``spec`` is a :class:`~repro.inject.harness.TrialSpec` (duck-typed
+    here to keep the cache layer free of an ``inject`` dependency); its
+    ``canonical_key()`` covers every field, so any knob that changes the
+    trial changes the key.  The ``kind`` discriminator keeps trial keys
+    disjoint from run keys even under identical field spellings.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code": _package_version(),
+        "kind": KIND_TRIAL,
+        "trial": spec.canonical_key(),
     }
     return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
 
@@ -99,11 +131,29 @@ class ResultCache:
 
     # ------------------------------------------------------------------- load --
     def load(self, key: str) -> Optional[RunResult]:
-        """The cached result for ``key``, or ``None`` on a miss.
+        """The cached simulation result for ``key``, or ``None`` on a miss.
 
         Corrupt entries (truncated writes, hand-edited files, schema
         drift) are deleted and reported as misses — the caller simply
         re-simulates and overwrites them.
+        """
+        payload = self.load_payload(key, KIND_RUN)
+        if payload is None:
+            return None
+        try:
+            return RunResult.from_dict(payload)
+        except (ValueError, TypeError, KeyError):
+            self.quarantine(key)
+            return None
+
+    def load_payload(self, key: str, kind: str) -> Optional[Any]:
+        """The raw cached payload for ``key``, or ``None`` on a miss.
+
+        Validates the envelope (decodability, schema version, key echo,
+        payload ``kind``); any violation quarantines the entry and reads
+        as a miss.  Decoding the payload itself is the caller's job —
+        on a decode failure it should call :meth:`quarantine` so the next
+        write starts clean.
         """
         path = self.path_for(key)
         try:
@@ -118,21 +168,33 @@ class ResultCache:
                 raise ValueError("cache schema version mismatch")
             if envelope.get("key") != key:
                 raise ValueError("cache entry key mismatch")
-            return RunResult.from_dict(envelope["result"])
+            if envelope.get("kind", KIND_RUN) != kind:
+                raise ValueError("cache entry kind mismatch")
+            result = envelope["result"]
+            if result is None:
+                # ``None`` is load_payload's miss signal, so a stored null
+                # would otherwise dodge quarantine.
+                raise ValueError("cache entry has null result")
+            return result
         except (ValueError, TypeError, KeyError):
             self._quarantine(path)
             return None
 
     # ------------------------------------------------------------------ store --
     def store(self, key: str, result: RunResult) -> Path:
-        """Persist ``result`` under ``key`` atomically; returns the path."""
+        """Persist a simulation ``result`` under ``key`` atomically."""
+        return self.store_payload(key, result.to_dict(), KIND_RUN)
+
+    def store_payload(self, key: str, result: Any, kind: str) -> Path:
+        """Persist a JSON-safe payload under ``key``; returns the path."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {
             "schema": CACHE_SCHEMA_VERSION,
             "code": _package_version(),
+            "kind": kind,
             "key": key,
-            "result": result.to_dict(),
+            "result": result,
         }
         payload = json.dumps(envelope, sort_keys=True)
         fd, tmp = tempfile.mkstemp(
@@ -177,6 +239,10 @@ class ResultCache:
             "bytes": sum(p.stat().st_size for p in entries),
             "schema": CACHE_SCHEMA_VERSION,
         }
+
+    def quarantine(self, key: str) -> None:
+        """Remove ``key``'s entry (a caller-detected corrupt payload)."""
+        self._quarantine(self.path_for(key))
 
     @staticmethod
     def _quarantine(path: Path) -> None:

@@ -134,6 +134,17 @@ class ProgressTracker:
         )
 
     # ----------------------------------------------------------------- reports --
+    def summary_line(self) -> str:
+        """One-line fetch/execution summary (the campaign CLI footer)."""
+        counts = self.by_source()
+        parts = [f"memo {self.memo_hits}"] + [
+            f"{src} {counts[src]}" for src in _SOURCES
+        ]
+        return (
+            f"runs: {self.total_runs + self.memo_hits} "
+            f"({', '.join(parts)}) in {self.elapsed_seconds():.2f}s"
+        )
+
     def summary_table(self) -> str:
         """The observability summary the CLI prints after a regeneration."""
         counts = self.by_source()

@@ -32,9 +32,15 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.config import MachineConfig
-from repro.experiments.cache import ResultCache, run_cache_key
+from repro.experiments.cache import (
+    KIND_TRIAL,
+    ResultCache,
+    run_cache_key,
+    trial_cache_key,
+)
 from repro.experiments.configs import ConfigRequest, make_options
 from repro.experiments.progress import ProgressTracker, _Timer
+from repro.inject.harness import TrialResult, TrialSpec, run_trial
 from repro.isa.program import Program
 from repro.obs.tracer import Tracer
 from repro.sim.results import (
@@ -79,6 +85,18 @@ def _worker_simulator(
         sim = Simulator(programs, machine)
         _WORKER_SIMULATORS[key] = sim
     return sim
+
+
+def _trial_execute(spec: TrialSpec) -> Tuple[TrialSpec, dict, float]:
+    """Pool entry point for fault-injection trials.
+
+    A trial is self-contained (the spec names its workload, scale and
+    machine shape), so the task *is* the spec; like :func:`_worker_execute`
+    the result crosses the process boundary serialised.
+    """
+    with _Timer() as timer:
+        result = run_trial(spec)
+    return spec, result.to_dict(), timer.seconds
 
 
 def _worker_execute(task: _WorkerTask) -> Tuple[str, ConfigRequest, dict, float]:
@@ -127,6 +145,7 @@ class ExperimentRunner:
         self._programs: Dict[str, List[Program]] = {}
         self._simulators: Dict[str, Simulator] = {}
         self._results: Dict[Tuple[str, ConfigRequest], RunResult] = {}
+        self._trial_results: Dict[TrialSpec, TrialResult] = {}
 
     # -- infrastructure ------------------------------------------------------
     def simulator(self, workload: str) -> Simulator:
@@ -190,6 +209,91 @@ class ExperimentRunner:
             else:
                 self._run_parallel(pending, jobs)
         return [self._results[(wl, req)] for wl, req in ordered]
+
+    # -- fault-injection trials ----------------------------------------------
+    def run_trials(
+        self,
+        specs: Iterable[TrialSpec],
+        jobs: Optional[int] = None,
+    ) -> List[TrialResult]:
+        """Resolve fault-injection :class:`TrialSpec`\\ s through the same
+        three layers as simulation runs: memo → persistent cache →
+        execute (inline, or over a process pool when ``jobs > 1``).
+
+        Trials are self-contained — each spec carries its own workload,
+        scale and machine shape — so the runner's ``num_cores`` /
+        ``region_scale`` knobs do not apply here; only its cache, pool
+        and progress plumbing do.  Results come back in input order and
+        are bit-identical across the serial and parallel paths (a test
+        pins this).
+        """
+        ordered = list(dict.fromkeys(specs))
+        jobs = self.jobs if jobs is None else jobs
+        check_positive("jobs", jobs)
+
+        pending = [s for s in ordered if self._lookup_trial(s) is None]
+        if pending:
+            if jobs <= 1:
+                for spec in pending:
+                    with _Timer() as timer:
+                        result = run_trial(spec)
+                    self._install_trial(spec, result, "sim", timer.seconds)
+            else:
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    for spec, payload, seconds in pool.map(
+                        _trial_execute, pending
+                    ):
+                        self._install_trial(
+                            spec,
+                            TrialResult.from_dict(payload),
+                            "worker",
+                            seconds,
+                        )
+        return [self._trial_results[s] for s in ordered]
+
+    def _lookup_trial(self, spec: TrialSpec) -> Optional[TrialResult]:
+        """Memo, then persistent cache; ``None`` means 'must execute'.
+
+        A cached payload that fails to decode as a :class:`TrialResult`
+        (truncation, hand edits, schema drift within the envelope) is
+        quarantined and reported as a miss — never a crash.
+        """
+        memo = self._trial_results.get(spec)
+        if memo is not None:
+            self.progress.record_memo()
+            return memo
+        if self.cache is not None:
+            key = trial_cache_key(spec)
+            with _Timer() as timer:
+                payload = self.cache.load_payload(key, KIND_TRIAL)
+                cached: Optional[TrialResult] = None
+                if payload is not None:
+                    try:
+                        cached = TrialResult.from_dict(payload)
+                    except (ValueError, TypeError, KeyError):
+                        self.cache.quarantine(key)
+            if cached is not None:
+                self._trial_results[spec] = cached
+                self.progress.record(
+                    spec.workload, f"inject:{spec.config}", "disk",
+                    timer.seconds,
+                )
+                return cached
+            self.progress.record_miss()
+        return None
+
+    def _install_trial(
+        self, spec: TrialSpec, result: TrialResult, source: str, seconds: float
+    ) -> None:
+        """Record progress and store a fresh trial result in every layer."""
+        self.progress.record(
+            spec.workload, f"inject:{spec.config}", source, seconds
+        )
+        self._trial_results[spec] = result
+        if self.cache is not None:
+            self.cache.store_payload(
+                trial_cache_key(spec), result.to_dict(), KIND_TRIAL
+            )
 
     def run_traced(
         self,

@@ -1,0 +1,41 @@
+"""Fault-injection campaigns: proving recovery is bit-exact.
+
+The simulator *costs* recovery; this package *demonstrates* it.  A trial
+flips one real bit in live mechanism state (memory words, retained
+interval-log records, AddrMap operand snapshots, architectural
+registers), then drives the paper's full error path — detection,
+safe-checkpoint selection (Fig. 2), functional rollback (log apply,
+newest-first), Slice recomputation of omitted records (§III-B) — and
+verifies the recovered state bit-exactly against a golden error-free
+re-execution of the same workload and seed.
+
+:mod:`repro.inject.harness` runs one trial; :mod:`repro.inject.campaign`
+builds Monte Carlo sweeps (seeds × workloads × targets × configurations)
+and aggregates their results.  Campaigns fan out through
+:meth:`repro.experiments.runner.ExperimentRunner.run_trials` with
+per-trial persistent caching, and surface via ``acr-repro inject``.
+"""
+
+from repro.inject.harness import (
+    OUTCOMES,
+    TARGET_KINDS,
+    Divergence,
+    Injection,
+    TrialResult,
+    TrialSpec,
+    run_trial,
+)
+from repro.inject.campaign import CampaignReport, build_trials, run_campaign
+
+__all__ = [
+    "OUTCOMES",
+    "TARGET_KINDS",
+    "Divergence",
+    "Injection",
+    "TrialResult",
+    "TrialSpec",
+    "run_trial",
+    "CampaignReport",
+    "build_trials",
+    "run_campaign",
+]

@@ -164,6 +164,30 @@ class Interpreter:
             return self.program.kernels[-1].phase
         return self.program.kernels[self._kernel_index].phase
 
+    def arch_state(self) -> Tuple[int, int, List[int]]:
+        """Snapshot of the architectural state: (kernel, iteration, regs).
+
+        Together with a memory restore this is everything a rollback
+        needs to resume the thread from a checkpoint — the paper's
+        "architectural state" payload of a checkpoint, functionally.
+        """
+        return (self._kernel_index, self._iteration, list(self._regs))
+
+    def restore_arch_state(self, state: Tuple[int, int, List[int]]) -> None:
+        """Rewind (or fast-forward) to a state from :meth:`arch_state`.
+
+        The register file is replaced wholesale; the kernel's compiled
+        ops are re-resolved through the program's op cache.
+        """
+        kernel_index, iteration, regs = state
+        if kernel_index < 0 or kernel_index > len(self.program.kernels):
+            raise ValueError(f"bad kernel index {kernel_index}")
+        self._kernel_index = kernel_index
+        self._prepare_kernel()
+        if not self.done:
+            self._iteration = iteration
+            self._regs = list(regs)
+
     def _prepare_kernel(self) -> None:
         """Size the register file and precompile the body for dispatch.
 

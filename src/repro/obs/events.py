@@ -15,7 +15,12 @@ The event vocabulary mirrors the paper's mechanisms:
 * ``SliceRecompute`` — one omitted value regenerated during recovery
   (Fig. 4b);
 * ``RecoveryBegin``/``RecoveryEnd`` — the rollback + recomputation
-  episode (Eqs. 2/3).
+  episode (Eqs. 2/3);
+* ``FaultInjected``/``RecoveryVerified``/``RecoveryDiverged`` — the
+  fault-injection campaign engine (``repro.inject``): a bit flip landed
+  in live state, and the recovered state either matched the golden
+  re-execution bit-exactly or did not (§III-B's consistent recovery
+  line, checked rather than assumed).
 
 ``EVENT_TYPES`` maps wire names back to classes; the JSONL linter and
 the round-trip tests are driven from it, so a new event type only needs
@@ -39,6 +44,9 @@ __all__ = [
     "SliceRecompute",
     "RecoveryBegin",
     "RecoveryEnd",
+    "FaultInjected",
+    "RecoveryVerified",
+    "RecoveryDiverged",
     "EVENT_TYPES",
 ]
 
@@ -177,6 +185,45 @@ class RecoveryEnd(TraceEvent):
     name: ClassVar[str] = "recovery_end"
 
 
+@dataclass(frozen=True, slots=True)
+class FaultInjected(TraceEvent):
+    """The injection engine flipped ``bit`` in live state.
+
+    ``target`` is the state class hit (``mem``, ``log``, ``addrmap`` or
+    ``arch``); ``address`` is the corrupted memory address (or the
+    address keying the corrupted log record / AddrMap entry; ``-1`` for
+    architectural-register flips).
+    """
+
+    target: str
+    address: int
+    bit: int
+
+    name: ClassVar[str] = "fault_injected"
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryVerified(TraceEvent):
+    """Recovered state matched the golden re-execution bit-exactly."""
+
+    safe_checkpoint: int
+    addresses_checked: int
+
+    name: ClassVar[str] = "recovery_verified"
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryDiverged(TraceEvent):
+    """One address disagreed with the golden state after recovery."""
+
+    address: int
+    interval: int
+    expected: int
+    actual: int
+
+    name: ClassVar[str] = "recovery_diverged"
+
+
 _EVENT_CLASSES: Tuple[Type[TraceEvent], ...] = (
     CheckpointBegin,
     CheckpointEnd,
@@ -188,6 +235,9 @@ _EVENT_CLASSES: Tuple[Type[TraceEvent], ...] = (
     SliceRecompute,
     RecoveryBegin,
     RecoveryEnd,
+    FaultInjected,
+    RecoveryVerified,
+    RecoveryDiverged,
 )
 
 #: Wire name -> event class (drives the exporters and the JSONL linter).

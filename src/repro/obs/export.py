@@ -28,10 +28,13 @@ from repro.obs.events import (
     AddrMapInsert,
     CheckpointBegin,
     CheckpointEnd,
+    FaultInjected,
     IntervalBoundary,
     LogWrite,
     RecoveryBegin,
+    RecoveryDiverged,
     RecoveryEnd,
+    RecoveryVerified,
     SliceRecompute,
     TraceEvent,
 )
@@ -147,6 +150,32 @@ def chrome_trace(
                     "inserts": am_inserts,
                     "evicts": am_evicts,
                     "hits": am_hits,
+                },
+            })
+        elif isinstance(ev, FaultInjected):
+            out.append({
+                **base(ev, ev.core + 1 if ev.core >= 0 else _MACHINE_TID),
+                "ph": "i", "s": "t", "cat": "inject",
+                "name": f"fault {ev.target}@{ev.address:#x}",
+                "args": {"bit": ev.bit},
+            })
+        elif isinstance(ev, RecoveryVerified):
+            out.append({
+                **base(ev, _MACHINE_TID), "ph": "i", "s": "g",
+                "cat": "inject", "name": "recovery verified",
+                "args": {
+                    "safe_checkpoint": ev.safe_checkpoint,
+                    "addresses_checked": ev.addresses_checked,
+                },
+            })
+        elif isinstance(ev, RecoveryDiverged):
+            out.append({
+                **base(ev, _MACHINE_TID), "ph": "i", "s": "g",
+                "cat": "inject", "name": f"DIVERGED @{ev.address:#x}",
+                "args": {
+                    "interval": ev.interval,
+                    "expected": ev.expected,
+                    "actual": ev.actual,
                 },
             })
         # Unknown event types are skipped — exporters must tolerate a

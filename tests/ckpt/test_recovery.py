@@ -86,6 +86,22 @@ class TestCosts:
         c1 = engine.recovery_costs([log_one_core], [0, 1], EnergyLedger())
         assert c2.recompute_ns < c1.recompute_ns
 
+    def test_duplicate_participants_counted_once(self, engine):
+        # Regression: a caller passing a participant core twice (e.g. a
+        # list built from overlapping log partitions) must not double-bill
+        # the per-core arch restore or double-apply its log partition.
+        log = IntervalLog(1)
+        for i in range(6):
+            log.add_record(i * 8, i, core=0)
+        log.add_omitted(
+            64, AddrMapEntry(64, const_slice(7), ()), core=1, ground_truth=7
+        )
+        led_dup, led_uniq = EnergyLedger(), EnergyLedger()
+        c_dup = engine.recovery_costs([log], [0, 0, 1, 1, 0], led_dup)
+        c_uniq = engine.recovery_costs([log], [0, 1], led_uniq)
+        assert c_dup == c_uniq
+        assert led_dup == led_uniq
+
 
 class TestFunctionalRestore:
     def test_logged_values_restored(self, engine):

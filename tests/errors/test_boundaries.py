@@ -1,0 +1,132 @@
+"""Error-path boundary pins: tie-breaks, latency == period, schedules.
+
+Three edge cases the fault-injection campaigns lean on, pinned as
+standalone unit tests so a regression is locatable without running a
+campaign:
+
+* occurrence *exactly at* a checkpoint's establishment time — the
+  boundary checkpoint reflects state strictly before the error and is
+  SAFE (paper Fig. 2);
+* ``ErrorModel`` with ``detection_latency_fraction == 1.0`` — the
+  paper's worst admissible latency; detection lands exactly one period
+  later, and the safe checkpoint stays within the two-retained-
+  checkpoints horizon (second-oldest retained, never index −1);
+* ``PoissonErrors.occurrence_times`` — strictly inside the run,
+  strictly increasing, a pure function of the seed.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors.detection import choose_safe_checkpoint
+from repro.errors.injection import PoissonErrors
+from repro.errors.model import ErrorModel, ErrorOccurrence
+from repro.inject.harness import TrialSpec, run_trial
+
+
+class TestBoundaryTieBreaks:
+    """Satellite 1: occurrence/detection coinciding with checkpoints."""
+
+    CKPTS = [1.0, 2.0, 3.0, 4.0]
+
+    def choice(self, occurred, detected):
+        return choose_safe_checkpoint(
+            ErrorOccurrence(occurred, detected), self.CKPTS
+        )
+
+    def test_occurrence_at_checkpoint_keeps_it_safe(self):
+        # The checkpoint established at t captures state strictly before
+        # an error occurring at t, so it must NOT be skipped (Fig. 2).
+        c = self.choice(3.0, 3.5)
+        assert c.checkpoint_index == 2
+        assert not c.skipped_corrupted
+
+    def test_detection_at_checkpoint_marks_it_suspect(self):
+        # A checkpoint established exactly at detection time exists and
+        # was written while the error was latent: skip it.
+        c = self.choice(2.5, 3.0)
+        assert c.checkpoint_index == 1
+        assert c.skipped_corrupted
+
+    def test_both_boundaries_coincide(self):
+        # occurred == ckpt k, detected == ckpt k+1: k safe, k+1 suspect.
+        c = self.choice(3.0, 4.0)
+        assert c.checkpoint_index == 2
+        assert c.skipped_corrupted
+
+    def test_occurrence_just_after_checkpoint_still_safe(self):
+        c = self.choice(3.0 + 1e-9, 3.5)
+        assert c.checkpoint_index == 2
+        assert not c.skipped_corrupted
+
+
+class TestLatencyEqualsPeriod:
+    """Satellite 2: the ``detection_latency_fraction == 1.0`` boundary."""
+
+    def test_full_period_latency_accepted(self):
+        m = ErrorModel(1.0)
+        assert m.detection_latency_ns(100.0) == 100.0
+
+    def test_above_period_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorModel(1.0 + 1e-9)
+
+    def test_safe_stays_within_retention(self):
+        # Worst case: error at checkpoint k's establishment, detected a
+        # full period later, exactly as checkpoint k+1 establishes.  The
+        # safe checkpoint is k — the second-oldest of the two retained
+        # checkpoints {k, k+1} — never index −1 (that would roll back
+        # past the retention horizon for no reason).
+        times = [1.0, 2.0, 3.0, 4.0]
+        occ = ErrorModel(1.0).occurrence(3.0, 1.0)
+        assert occ.detected_ns == 4.0
+        c = choose_safe_checkpoint(occ, times)
+        assert c.checkpoint_index == len(times) - 2
+        assert c.skipped_corrupted
+
+    @pytest.mark.parametrize("config", ["BER", "ACR"])
+    def test_end_to_end_recovery_at_full_latency(self, config):
+        # Driven through the real machinery: with latency == period the
+        # rollback spans at most the retained window, logs_to_rollback
+        # never raises, and recovery is still bit-exact.
+        for seed in range(3):
+            spec = TrialSpec(
+                workload="dc", config=config, target="mem", seed=seed,
+                memory_seed=seed, detection_latency_fraction=1.0,
+            )
+            result = run_trial(spec)
+            assert result.outcome == "recovered-exact"
+            assert result.safe_checkpoint >= result.checkpoints - 2
+
+
+class TestPoissonScheduleProperties:
+    """Satellite 3: schedule guarantees, property-tested."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        expected=st.floats(min_value=0.1, max_value=50.0),
+        total=st.floats(min_value=1e-3, max_value=1e9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_in_range_sorted_deterministic(self, seed, expected, total):
+        sched = PoissonErrors(expected, seed=seed)
+        times = sched.occurrence_times(total)
+        assert all(0.0 < t < total for t in times)
+        assert all(a < b for a, b in zip(times, times[1:]))
+        assert times == PoissonErrors(expected, seed=seed).occurrence_times(
+            total
+        )
+
+    def test_tiny_run_never_emits_out_of_range(self):
+        # A run shorter than the mean inter-arrival gap usually yields no
+        # errors; when it does yield one it must still be inside the run.
+        for seed in range(200):
+            times = PoissonErrors(10.0, seed=seed).occurrence_times(1e-6)
+            assert all(0.0 < t < 1e-6 for t in times)
+
+    def test_high_rate_stays_strictly_increasing(self):
+        # Rate high enough that float absorption (t + gap == t) becomes
+        # plausible; duplicates would break downstream bisect logic.
+        times = PoissonErrors(5000.0, seed=7).occurrence_times(1e12)
+        assert len(times) > 1000
+        assert all(a < b for a, b in zip(times, times[1:]))

@@ -1,0 +1,150 @@
+"""Tests for repro.inject.campaign and ExperimentRunner.run_trials."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.inject.campaign import CampaignReport, build_trials, run_campaign
+from repro.inject.harness import TrialSpec, run_trial
+
+
+def small_specs(trials=4, **kw):
+    return build_trials(["cg", "dc"], trials=trials, **kw)
+
+
+class TestBuildTrials:
+    def test_count_is_per_configuration(self):
+        specs = small_specs(trials=5)
+        assert len(specs) == 10
+        assert sum(1 for s in specs if s.config == "ACR") == 5
+        assert sum(1 for s in specs if s.config == "BER") == 5
+
+    def test_rotation_covers_workloads_and_targets(self):
+        specs = build_trials(["cg", "dc"], trials=8)
+        acr = [s for s in specs if s.config == "ACR"]
+        assert {s.workload for s in acr} == {"cg", "dc"}
+        assert {s.target for s in acr} == {"mem", "log", "addrmap", "arch"}
+
+    def test_seeds_distinct_and_based(self):
+        specs = build_trials(["cg"], trials=4, seed=100)
+        acr = [s for s in specs if s.config == "ACR"]
+        assert [s.seed for s in acr] == [100, 101, 102, 103]
+        assert all(s.memory_seed == s.seed for s in acr)
+
+    def test_same_seed_across_configs(self):
+        # BER and ACR trial i share the seed: the sweep compares the two
+        # mechanisms under identical faults, not different ones.
+        specs = small_specs(trials=3)
+        by_config = {}
+        for s in specs:
+            by_config.setdefault(s.config, []).append(s.seed)
+        assert by_config["BER"] == by_config["ACR"]
+
+    def test_knobs_propagate(self):
+        specs = build_trials(
+            ["cg"], trials=1, iters_per_step=24,
+            detection_latency_fraction=1.0, defect="misorder-logs",
+        )
+        assert all(s.iters_per_step == 24 for s in specs)
+        assert all(s.defect == "misorder-logs" for s in specs)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            build_trials([], trials=1)
+        with pytest.raises(ValueError):
+            build_trials(["cg"], trials=0)
+        with pytest.raises(ValueError):
+            build_trials(["cg"], trials=1, targets=[])
+
+
+class TestRunTrials:
+    def test_results_in_input_order_and_memoised(self):
+        runner = ExperimentRunner()
+        specs = small_specs(trials=2)
+        first = runner.run_trials(specs)
+        assert [r.spec for r in first] == specs
+        before = runner.progress.memo_hits
+        again = runner.run_trials(specs)
+        assert again == first
+        assert runner.progress.memo_hits == before + len(specs)
+
+    def test_parallel_matches_serial(self):
+        specs = small_specs(trials=3)
+        serial = ExperimentRunner().run_trials(specs, jobs=1)
+        parallel = ExperimentRunner().run_trials(specs, jobs=2)
+        assert [r.to_dict() for r in parallel] == [
+            r.to_dict() for r in serial
+        ]
+
+    def test_warm_cache_identical_and_no_reexecution(self, tmp_path):
+        specs = small_specs(trials=2)
+        cold_runner = ExperimentRunner(cache_dir=tmp_path / "c")
+        cold = run_campaign(cold_runner, specs)
+        warm_runner = ExperimentRunner(cache_dir=tmp_path / "c")
+        warm = run_campaign(warm_runner, specs)
+        assert warm.to_json_dict() == cold.to_json_dict()
+        assert warm_runner.progress.simulated == 0
+        assert warm_runner.progress.disk_hits == len(specs)
+
+    def test_trial_cache_does_not_collide_with_run_cache(self, tmp_path):
+        # Both kinds share one cache directory; a campaign must not
+        # disturb simulation results (and vice versa).
+        runner = ExperimentRunner(
+            num_cores=2, region_scale=0.05, reps=2,
+            cache_dir=tmp_path / "c",
+        )
+        base = runner.baseline("cg")
+        run_campaign(runner, small_specs(trials=1))
+        fresh = ExperimentRunner(
+            num_cores=2, region_scale=0.05, reps=2,
+            cache_dir=tmp_path / "c",
+        )
+        assert fresh.baseline("cg").to_dict() == base.to_dict()
+        assert fresh.progress.simulated == 0
+
+
+class TestCampaignReport:
+    def test_tallies_and_ok(self):
+        results = [run_trial(s) for s in small_specs(trials=2)]
+        report = CampaignReport(results)
+        assert report.ok
+        assert report.diverged == 0
+        for tally in report.tallies.values():
+            assert tally.trials == 2
+            assert tally.recovered_exact == 2
+            assert tally.detected == 2
+
+    def test_summary_table_lists_configs(self):
+        report = CampaignReport([run_trial(s) for s in small_specs(2)])
+        table = report.summary_table()
+        assert "ACR" in table and "BER" in table
+        assert "recovered-exact" in table
+        assert "bit-exactly" in report.verdict_line()
+
+    def test_divergent_trials_surface_in_report(self):
+        # dc + skip-recompute is a known-diverging combination (see
+        # test_defects); the report must carry its provenance.
+        specs = build_trials(
+            ["dc"], trials=4, configs=["ACR"], targets=["mem"],
+            seed=1, defect="skip-recompute",
+        )
+        report = CampaignReport([run_trial(s) for s in specs])
+        assert not report.ok
+        assert report.diverged >= 1
+        assert "FAILED" in report.verdict_line()
+        doc = report.to_json_dict()
+        assert doc["ok"] is False
+        assert doc["outcomes"]["diverged"] == report.diverged
+        assert len(doc["divergent"]) == report.diverged
+        first = doc["divergent"][0]
+        assert first["divergences"][0]["address"] > 0
+
+    def test_json_report_is_valid_json(self, tmp_path):
+        report = CampaignReport([run_trial(s) for s in small_specs(1)])
+        out = tmp_path / "report.json"
+        report.write_json(out)
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True
+        assert doc["trials"] == 2
+        assert set(doc["configs"]) == {"ACR", "BER"}

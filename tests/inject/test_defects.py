@@ -1,0 +1,91 @@
+"""Seeded-defect tests: the verifier must catch deliberate sabotage.
+
+A verifier that always reports "bit-exact" is worthless; these tests
+prove the comparison has teeth by breaking recovery on purpose and
+asserting the divergence is caught *with correct provenance* (the
+sabotaged address, the right interval, the right phase).
+
+The combinations are chosen from campaign sweeps: ``dc``'s recomputable
+stores are accumulations (value changes every interval), so a skipped
+recomputation or a mis-ordered log application leaves a detectably wrong
+value.  Workloads with idempotent stores can mask a skip — that is a
+property of the workload, not a verifier gap, which is exactly why the
+defect tests pin known-diverging seeds.
+"""
+
+import pytest
+
+from repro.inject.harness import TrialSpec, run_trial
+
+
+def dc_trial(seed, defect, **kw):
+    kw.setdefault("config", "ACR")
+    kw.setdefault("target", "mem")
+    return run_trial(TrialSpec(
+        workload="dc", seed=seed, memory_seed=seed, defect=defect, **kw
+    ))
+
+
+class TestSkipRecompute:
+    # Seeds where the oldest applied log has omitted records whose
+    # recomputation is load-bearing (found by sweep, pinned here).
+    DIVERGING_SEEDS = (1, 3, 4)
+
+    @pytest.mark.parametrize("seed", DIVERGING_SEEDS)
+    def test_caught_with_provenance(self, seed):
+        r = dc_trial(seed, "skip-recompute")
+        assert r.outcome == "diverged"
+        assert r.divergence_count >= 1
+        assert "skipped recompute of address" in r.detail
+        # The reported divergence names the sabotaged address …
+        sabotaged = int(r.detail.rsplit(" ", 1)[-1], 16)
+        d = r.divergences[0]
+        assert d.address == sabotaged
+        # … at the rollback comparison against the safe checkpoint.
+        assert d.phase == "rollback"
+        assert d.interval == r.safe_checkpoint
+        assert d.expected != d.actual
+
+    def test_ber_immune(self):
+        # BER logs every value — there is no recomputation to skip, so
+        # the defect must be a no-op and recovery stays exact.
+        for seed in self.DIVERGING_SEEDS:
+            r = dc_trial(seed, "skip-recompute", config="BER")
+            assert r.outcome == "recovered-exact"
+            assert "no omitted records" in r.detail
+
+    def test_deterministic(self):
+        a = dc_trial(1, "skip-recompute")
+        b = dc_trial(1, "skip-recompute")
+        assert a.to_dict() == b.to_dict()
+
+
+class TestMisorderLogs:
+    # Newest-wins only differs from oldest-wins when two applied logs
+    # overlap on an address whose value changed across the interval:
+    # long intervals (wrapping the address sweep) + full-period latency
+    # (two-log rollbacks with a full open log).
+    KNOBS = dict(iters_per_step=24, detection_latency_fraction=1.0)
+    DIVERGING_SEEDS = (1, 2, 3)
+
+    @pytest.mark.parametrize("seed", DIVERGING_SEEDS)
+    def test_caught(self, seed):
+        r = dc_trial(seed, "misorder-logs", **self.KNOBS)
+        assert r.outcome == "diverged"
+        assert r.divergence_count >= 1
+        assert r.detail == "defect: logs applied oldest-first"
+        d = r.divergences[0]
+        assert d.expected != d.actual
+        assert d.phase in ("rollback", "final")
+
+    @pytest.mark.parametrize("seed", DIVERGING_SEEDS)
+    def test_same_trial_without_defect_is_exact(self, seed):
+        r = dc_trial(seed, None, **self.KNOBS)
+        assert r.outcome == "recovered-exact"
+
+    def test_single_log_rollback_is_order_immune(self):
+        # With default knobs, dc seed 0 rolls back through exactly one
+        # log — reversing a one-element sequence is the identity, so the
+        # defect cannot (and must not) manufacture a divergence.
+        r = dc_trial(0, "misorder-logs")
+        assert r.outcome == "recovered-exact"

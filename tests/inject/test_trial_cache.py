@@ -1,0 +1,124 @@
+"""Satellite: corrupt-cache quarantine for the injection-trial schema.
+
+A corrupt per-trial cache blob — truncated write, hand edit, schema
+drift, or a run-result envelope aliased under a trial key — must read as
+a *miss* (re-execute and overwrite), quarantine the file, and never
+crash the campaign.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.cache import (
+    KIND_RUN,
+    KIND_TRIAL,
+    ResultCache,
+    run_cache_key,
+    trial_cache_key,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.inject.harness import TrialSpec, run_trial
+
+SPEC = TrialSpec(workload="cg", seed=0)
+
+
+@pytest.fixture
+def warm(tmp_path):
+    """A cache directory holding one genuine trial entry."""
+    runner = ExperimentRunner(cache_dir=tmp_path / "c")
+    results = runner.run_trials([SPEC])
+    return tmp_path / "c", results[0]
+
+
+def entry_path(cache_dir):
+    return ResultCache(cache_dir).path_for(trial_cache_key(SPEC))
+
+
+class TestTrialKeying:
+    def test_key_is_stable_and_spec_sensitive(self):
+        assert trial_cache_key(SPEC) == trial_cache_key(SPEC)
+        other = TrialSpec(workload="cg", seed=1)
+        assert trial_cache_key(SPEC) != trial_cache_key(other)
+
+    def test_kind_mismatch_reads_as_miss(self, warm):
+        cache_dir, _ = warm
+        cache = ResultCache(cache_dir)
+        key = trial_cache_key(SPEC)
+        # The genuine trial payload under the right key but asked for as
+        # a run result — the kind discriminator must refuse it.
+        assert cache.load_payload(key, KIND_RUN) is None
+        assert not cache.path_for(key).exists()
+
+
+class TestCorruptTrialBlobs:
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            "",                       # truncated to nothing
+            "{not json",              # undecodable
+            '"just a string"',        # wrong envelope shape
+            json.dumps({"schema": 999}),          # schema drift
+            json.dumps({"spec": {}, "outcome": "recovered-exact"}),
+        ],
+        ids=["empty", "notjson", "string", "drift", "bare-payload"],
+    )
+    def test_quarantined_and_recomputed(self, warm, garbage):
+        cache_dir, genuine = warm
+        path = entry_path(cache_dir)
+        path.write_text(garbage)
+
+        runner = ExperimentRunner(cache_dir=cache_dir)
+        results = runner.run_trials([SPEC])
+        # Never a crash; the miss was reported and the trial re-executed.
+        assert runner.progress.disk_misses == 1
+        assert runner.progress.simulated == 1
+        assert results[0] == genuine
+        # The corrupt file was quarantined, then overwritten by the
+        # fresh result — so the entry on disk is valid again.
+        assert json.loads(path.read_text())["kind"] == KIND_TRIAL
+
+    def test_valid_envelope_corrupt_trial_payload(self, warm):
+        # The nastiest case: the envelope passes every cache-level check
+        # (schema, key echo, kind) but the trial payload inside violates
+        # the result schema — decode happens runner-side and must still
+        # quarantine + miss.
+        cache_dir, genuine = warm
+        path = entry_path(cache_dir)
+        envelope = json.loads(path.read_text())
+        envelope["result"]["outcome"] = "diverged"  # count stays 0: invalid
+        path.write_text(json.dumps(envelope))
+
+        runner = ExperimentRunner(cache_dir=cache_dir)
+        results = runner.run_trials([SPEC])
+        assert results[0] == genuine
+        assert runner.progress.simulated == 1
+        assert json.loads(path.read_text()) != envelope
+
+    def test_run_entry_never_serves_trials(self, tmp_path):
+        # Simulation results and trial results share the cache root; a
+        # (hypothetically colliding) run entry must not decode as a
+        # trial.  Forge one under the trial's key to prove the guard.
+        cache = ResultCache(tmp_path / "c")
+        key = trial_cache_key(SPEC)
+        cache.store_payload(key, {"anything": 1}, KIND_RUN)
+        assert cache.load_payload(key, KIND_TRIAL) is None
+        assert not cache.path_for(key).exists()
+
+
+class TestRunKeysUnaffected:
+    def test_run_and_trial_keys_disjoint(self, tmp_path):
+        # Same cache, both kinds stored: each loader sees only its own.
+        from repro.arch.config import MachineConfig
+        from repro.experiments.configs import ConfigRequest
+
+        rkey = run_cache_key(
+            "cg", ConfigRequest("NoCkpt"), MachineConfig(num_cores=2),
+            0.05, 2,
+        )
+        tkey = trial_cache_key(SPEC)
+        assert rkey != tkey
+        cache = ResultCache(tmp_path / "c")
+        cache.store_payload(tkey, run_trial(SPEC).to_dict(), KIND_TRIAL)
+        assert cache.load(tkey) is None          # not a run result
+        assert cache.load_payload(rkey, KIND_RUN) is None  # plain miss

@@ -285,3 +285,54 @@ class TestReportCommand:
                 (serial_dir / name).read_text()
                 == (parallel_dir / name).read_text()
             ), f"{name} differs between serial and parallel report"
+
+
+class TestInjectCommand:
+    def test_campaign_exits_zero_when_bit_exact(self, tmp_path, capsys):
+        out_json = tmp_path / "report.json"
+        assert main([
+            "inject", "cg", "dc", "--trials", "4",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(out_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault-injection campaign" in out
+        assert "recovered bit-exactly" in out
+        assert out_json.exists()
+
+    def test_warm_cache_serves_from_disk(self, tmp_path, capsys):
+        args = ["inject", "cg", "--trials", "2",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        # 2 trials per configuration x {BER, ACR} = 4 disk hits.
+        assert "disk 4" in capsys.readouterr().out
+
+    def test_seeded_defect_fails_with_provenance(self, capsys):
+        code = main([
+            "inject", "dc", "--trials", "4", "--seed", "1",
+            "--configs", "ACR", "--targets", "mem",
+            "--defect", "skip-recompute",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "skipped recompute of address" in out
+        assert "diverged: dc/ACR" in out
+
+    def test_unknown_benchmark_exits_two(self, capsys):
+        assert main(["inject", "nosuch", "--trials", "1"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_bad_config_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inject", "--configs", "Ckpt_E"])
+
+    def test_parallel_matches_serial(self, capsys):
+        assert main(["inject", "cg", "--trials", "3"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["inject", "cg", "--trials", "3", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical campaign table/verdict; only the runs: footer differs.
+        assert parallel.splitlines()[:-1] == serial.splitlines()[:-1]
