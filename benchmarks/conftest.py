@@ -15,7 +15,13 @@ Scale knobs (environment):
 * ``REPRO_BENCH_JOBS``   — worker processes for independent runs
   (default 1 = serial; parallel results are bit-identical);
 * ``REPRO_BENCH_CACHE``  — persistent result-cache directory (unset = no
-  on-disk cache; a warm cache makes re-runs near-instant).
+  on-disk cache; a warm cache makes re-runs near-instant);
+* ``REPRO_BENCH_TIMEOUT`` — per-task wall-clock timeout in seconds for
+  supervised workers (unset = none);
+* ``REPRO_BENCH_RETRIES`` — retries per failed/timed-out/killed task
+  (default 2; deterministic backoff);
+* ``REPRO_BENCH_RESUME`` — non-empty/non-zero skips tasks the completion
+  journal already records (needs ``REPRO_BENCH_CACHE``).
 """
 
 from __future__ import annotations
@@ -29,10 +35,14 @@ from _bench_lib import (
     BENCH_CORES,
     BENCH_JOBS,
     BENCH_REPS,
+    BENCH_RESUME,
+    BENCH_RETRIES,
     BENCH_SCALE,
+    BENCH_TIMEOUT,
     REPORT_DIR,
 )
 from repro.experiments.runner import ExperimentRunner
+from repro.resilience.policy import ResiliencePolicy
 
 
 @pytest.fixture(scope="session")
@@ -45,6 +55,10 @@ def runner() -> ExperimentRunner:
         reps=BENCH_REPS,
         jobs=BENCH_JOBS,
         cache_dir=BENCH_CACHE,
+        resilience=ResiliencePolicy(
+            max_retries=BENCH_RETRIES, timeout_s=BENCH_TIMEOUT
+        ),
+        resume=BENCH_RESUME,
     )
 
 

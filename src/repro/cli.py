@@ -50,6 +50,7 @@ from repro.inject.campaign import build_trials, run_campaign
 from repro.inject.harness import CONFIGS, DEFECTS, TARGET_KINDS
 from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.obs.tracer import RecordingTracer
+from repro.resilience.policy import ResiliencePolicy
 from repro.util.tables import format_table
 from repro.verify.engine import select_rules, verify_program
 from repro.verify.oracle import ORACLE_RULE_ID, ORACLE_RULE_SLUG
@@ -102,13 +103,60 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="persist results here and reuse them across "
                              "invocations (content-addressed, versioned)")
+    _add_resilience(parser)
+
+
+def _add_resilience(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task wall-clock timeout for supervised "
+                             "workers (default: none)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        metavar="N",
+                        help="retries per failed/timed-out/killed task "
+                             "(default: 2; deterministic backoff)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip tasks the completion journal already "
+                             "records (requires --cache-dir); the final "
+                             "report is bit-identical to an uninterrupted "
+                             "run")
+
+
+def _policy(args) -> Optional["ResiliencePolicy"]:
+    """A ResiliencePolicy when any knob deviates from the defaults."""
+    if args.timeout is None and args.max_retries is None:
+        return None
+    kwargs = {}
+    if args.timeout is not None:
+        kwargs["timeout_s"] = args.timeout
+    if args.max_retries is not None:
+        kwargs["max_retries"] = args.max_retries
+    return ResiliencePolicy(**kwargs)
+
+
+def _check_resume(args) -> None:
+    if args.resume and args.cache_dir is None:
+        raise ValueError(
+            "--resume needs --cache-dir (the completion journal lives "
+            "beside the result cache)"
+        )
 
 
 def _runner(args) -> ExperimentRunner:
+    _check_resume(args)
     return ExperimentRunner(
         num_cores=args.cores, region_scale=args.scale, reps=args.reps,
         jobs=args.jobs, cache_dir=args.cache_dir,
+        resilience=_policy(args), resume=args.resume,
     )
+
+
+def _print_resilience(runner: ExperimentRunner) -> None:
+    """The supervised-execution footer: zeros are printed, not elided."""
+    print(runner.progress.resilience_line())
+    report = runner.last_failure_report
+    if report is not None and report.tasks:
+        print(report.summary_table())
 
 
 def cmd_report(args) -> int:
@@ -345,7 +393,11 @@ def cmd_inject(args) -> int:
         detection_latency_fraction=args.latency,
         defect=args.defect,
     )
-    runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    _check_resume(args)
+    runner = ExperimentRunner(
+        jobs=args.jobs, cache_dir=args.cache_dir,
+        resilience=_policy(args), resume=args.resume,
+    )
     report = run_campaign(runner, specs)
     print(report.summary_table())
     for trial in report.divergent_trials()[:8]:
@@ -359,6 +411,7 @@ def cmd_inject(args) -> int:
         )
     print(report.verdict_line())
     print(runner.progress.summary_line())
+    _print_resilience(runner)
     if args.json:
         report.write_json(args.json)
         print(f"json report: {args.json}")
@@ -515,6 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", type=str, default=None,
                    help="persist per-trial results here (content-"
                         "addressed, versioned)")
+    _add_resilience(p)
     p.add_argument("--json", type=str, default=None,
                    help="also write the machine-readable report here")
     p.set_defaults(func=cmd_inject)

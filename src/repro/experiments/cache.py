@@ -129,6 +129,18 @@ class ResultCache:
             raise ValueError(f"malformed cache key {key!r}")
         return self.root / key[:2] / f"{key}.json"
 
+    def lock_path(self, key: str) -> Path:
+        """Where ``key``'s advisory lockfile lives (see
+        :class:`repro.resilience.locks.KeyLock`): beside the entry, so
+        concurrent invocations sharing this cache can elect one
+        simulator per key instead of racing."""
+        return self.path_for(key).with_suffix(".lock")
+
+    def journal_path(self) -> Path:
+        """The write-ahead completion journal beside this cache (see
+        :class:`repro.resilience.journal.CompletionJournal`)."""
+        return self.root / "journal.jsonl"
+
     # ------------------------------------------------------------------- load --
     def load(self, key: str) -> Optional[RunResult]:
         """The cached simulation result for ``key``, or ``None`` on a miss.

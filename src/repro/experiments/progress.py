@@ -61,6 +61,13 @@ class ProgressTracker:
     disk_misses: int = 0
     events_captured: int = 0
     events_dropped: int = 0
+    # Supervised-execution accounting (repro.resilience): a clean run
+    # reports visible zeros, so silence is an assertion, not a gap.
+    retried: int = 0
+    timed_out: int = 0
+    worker_deaths: int = 0
+    degraded_to_serial: int = 0
+    resumed: int = 0
 
     # ------------------------------------------------------------------ events --
     def record(self, workload: str, config: str, source: str,
@@ -89,6 +96,32 @@ class ProgressTracker:
         """Accumulate one traced run's event capture/drop counts."""
         self.events_captured += captured
         self.events_dropped += dropped
+
+    # -------------------------------------------------------------- resilience --
+    def record_retry(self) -> None:
+        """Count one supervised-task retry (any failure cause)."""
+        self.retried += 1
+        if self.echo is not None:
+            self.echo("[retry ] supervised task re-queued")
+
+    def record_timeout(self) -> None:
+        """Count one watchdog-enforced wall-clock timeout."""
+        self.timed_out += 1
+
+    def record_worker_death(self) -> None:
+        """Count one pool worker that died mid-task."""
+        self.worker_deaths += 1
+
+    def record_degraded(self) -> None:
+        """Count one circuit-breaker trip (pool → serial execution)."""
+        self.degraded_to_serial += 1
+        if self.echo is not None:
+            self.echo("[degrade] pool abandoned; continuing serially")
+
+    def record_resumed(self, n: int = 1) -> None:
+        """Count tasks skipped because the completion journal already
+        holds them (``--resume``)."""
+        self.resumed += n
 
     # ----------------------------------------------------------------- queries --
     @property
@@ -166,7 +199,17 @@ class ProgressTracker:
             )
         if self.events_captured or self.events_dropped:
             table += "\n" + self.tracing_line()
+        table += "\n" + self.resilience_line()
         return table
+
+    def resilience_line(self) -> str:
+        """One-line supervised-execution summary (zeros on clean runs)."""
+        return (
+            f"resilience: {self.retried} retried, {self.timed_out} timed "
+            f"out, {self.worker_deaths} worker deaths, "
+            f"{self.degraded_to_serial} degraded-to-serial, "
+            f"{self.resumed} resumed from journal"
+        )
 
     def reset(self) -> None:
         """Drop all records and counters (new measurement window)."""
@@ -176,6 +219,11 @@ class ProgressTracker:
         self.disk_misses = 0
         self.events_captured = 0
         self.events_dropped = 0
+        self.retried = 0
+        self.timed_out = 0
+        self.worker_deaths = 0
+        self.degraded_to_serial = 0
+        self.resumed = 0
 
 
 class _Timer:

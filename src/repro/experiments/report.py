@@ -147,14 +147,29 @@ def main(argv=None) -> None:
                         help="worker processes for independent runs")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="persistent result cache directory")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-task wall-clock timeout for supervised "
+                             "workers (default: none)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="retries per failed/timed-out/killed task")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip journaled completions (needs --cache-dir)")
     parser.add_argument("--out", type=str, default=None,
                         help="also write each artifact to <out>/<name>.txt")
     parser.add_argument("--scalability", action="store_true",
                         help="include the 8/16/32-core study (slow)")
     args = parser.parse_args(argv)
+    if args.resume and args.cache_dir is None:
+        parser.error("--resume needs --cache-dir")
+    from repro.resilience.policy import ResiliencePolicy
+
     runner = ExperimentRunner(
         num_cores=args.cores, region_scale=args.scale, reps=args.reps,
         jobs=args.jobs, cache_dir=args.cache_dir,
+        resilience=ResiliencePolicy(
+            max_retries=args.max_retries, timeout_s=args.timeout
+        ),
+        resume=args.resume,
     )
     generate_report(
         runner, include_scalability=args.scalability, out_dir=args.out

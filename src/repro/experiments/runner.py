@@ -11,9 +11,11 @@ first:
 2. the **persistent cache** (``cache_dir``) — serialised results keyed by
    a content hash of everything that determines the run, so repeated
    full-paper regenerations across invocations cost almost nothing;
-3. the **simulator** — either inline, or fanned out over a
-   ``ProcessPoolExecutor`` (``jobs > 1``) for independent pairs via
-   :meth:`ExperimentRunner.run_many`.
+3. the **simulator** — either inline, or fanned out over a supervised
+   worker pool (``jobs > 1``; :mod:`repro.resilience`) for independent
+   pairs via :meth:`ExperimentRunner.run_many` — with per-task
+   timeouts, retries with deterministic backoff, dead-worker respawn
+   and a write-ahead completion journal for ``resume``.
 
 Parallel runs are bit-identical to serial ones: the simulation is
 deterministic, workers return the full serialised result, and both paths
@@ -27,12 +29,22 @@ keep a full paper regeneration to minutes.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.arch.config import MachineConfig
 from repro.experiments.cache import (
+    KIND_RUN,
     KIND_TRIAL,
     ResultCache,
     run_cache_key,
@@ -42,7 +54,14 @@ from repro.experiments.configs import ConfigRequest, make_options
 from repro.experiments.progress import ProgressTracker, _Timer
 from repro.inject.harness import TrialResult, TrialSpec, run_trial
 from repro.isa.program import Program
+from repro.obs.events import MACHINE, CampaignResumed
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
+from repro.resilience.journal import CompletionJournal, JournalRecord
+from repro.resilience.locks import KeyLock
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.report import FailureReport
+from repro.resilience.supervisor import SupervisedTask, Supervisor
 from repro.sim.results import (
     BaselineProfile,
     RunResult,
@@ -127,6 +146,9 @@ class ExperimentRunner:
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         progress: Optional[ProgressTracker] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        journal_path: Optional[Union[str, Path]] = None,
+        resume: bool = False,
     ) -> None:
         check_positive("num_cores", num_cores)
         check_positive("region_scale", region_scale)
@@ -142,6 +164,35 @@ class ExperimentRunner:
             ResultCache(cache_dir) if cache_dir is not None else None
         )
         self.progress = progress if progress is not None else ProgressTracker()
+        # -- supervised execution (repro.resilience) -----------------------
+        self.resilience = resilience or ResiliencePolicy()
+        self.resilience_metrics = MetricsRegistry()
+        #: Optional Tracer receiving harness-level events (task_retried,
+        #: worker_died, pool_degraded, campaign_resumed).
+        self.resilience_tracer: Optional[Tracer] = None
+        #: Attempt histories of the most recent supervised fan-out.
+        self.last_failure_report: Optional[FailureReport] = None
+        #: Test/ops hooks forwarded to the Supervisor (see its docs).
+        self.supervisor_hooks: Dict[str, Callable] = {}
+        self._active_supervisor: Optional[Supervisor] = None
+        # The write-ahead completion journal lives beside the cache by
+        # default; an explicit path works cache-less (accounting only).
+        if journal_path is None and self.cache is not None:
+            journal_path = self.cache.journal_path()
+        self.journal: Optional[CompletionJournal] = (
+            CompletionJournal(journal_path) if journal_path is not None
+            else None
+        )
+        self.resume = resume
+        self._resume_keys: Dict[str, JournalRecord] = {}
+        self._resume_credited: set = set()
+        if resume:
+            if self.journal is None:
+                raise ValueError(
+                    "resume=True needs a completion journal — configure "
+                    "cache_dir (or journal_path)"
+                )
+            self._resume_keys = self.journal.load()
         self._programs: Dict[str, List[Program]] = {}
         self._simulators: Dict[str, Simulator] = {}
         self._results: Dict[Tuple[str, ConfigRequest], RunResult] = {}
@@ -192,6 +243,15 @@ class ExperimentRunner:
         serial :meth:`run` path produces (workers ship serialised results
         back; the checkpoint store stays worker-side).  Pairs already in
         the memo or the persistent cache are never re-simulated.
+
+        With ``jobs > 1`` the fan-out runs under a
+        :class:`~repro.resilience.supervisor.Supervisor`: hung tasks
+        time out, dead workers respawn and their tasks retry with
+        deterministic backoff, and repeated pool failures degrade to
+        serial execution — none of which changes the results (tasks are
+        deterministic; chaos tests pin bit-exactness).  Completed
+        results are installed (and journaled) as they arrive, so a
+        ``KeyboardInterrupt`` loses only in-flight work.
         """
         ordered = list(dict.fromkeys(pairs))
         jobs = self.jobs if jobs is None else jobs
@@ -202,6 +262,11 @@ class ExperimentRunner:
             for wl, req in ordered
             if self._lookup(wl, req) is None
         ]
+        if self.resume:
+            self._credit_resume(
+                (self.cache_key(wl, req) for wl, req in ordered),
+                pending_count=len(pending),
+            )
         if pending:
             if jobs <= 1:
                 for wl, req in pending:
@@ -232,24 +297,61 @@ class ExperimentRunner:
         check_positive("jobs", jobs)
 
         pending = [s for s in ordered if self._lookup_trial(s) is None]
+        if self.resume:
+            self._credit_resume(
+                (trial_cache_key(s) for s in ordered),
+                pending_count=len(pending),
+            )
         if pending:
             if jobs <= 1:
                 for spec in pending:
-                    with _Timer() as timer:
-                        result = run_trial(spec)
-                    self._install_trial(spec, result, "sim", timer.seconds)
+                    self._execute_trial_inline(spec)
             else:
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    for spec, payload, seconds in pool.map(
-                        _trial_execute, pending
-                    ):
-                        self._install_trial(
-                            spec,
-                            TrialResult.from_dict(payload),
-                            "worker",
-                            seconds,
-                        )
+                self._run_trials_parallel(pending, jobs)
         return [self._trial_results[s] for s in ordered]
+
+    def _execute_trial_inline(self, spec: TrialSpec) -> None:
+        """Run one trial in-process (under the per-key cache lock, so a
+        concurrent invocation missing on the same key waits for this
+        one's entry instead of re-simulating)."""
+
+        def execute() -> None:
+            with _Timer() as timer:
+                result = run_trial(spec)
+            self._install_trial(spec, result, "sim", timer.seconds)
+
+        self._with_key_lock(
+            trial_cache_key(spec),
+            recheck=lambda: self._lookup_trial(spec) is not None,
+            execute=execute,
+        )
+
+    def _run_trials_parallel(
+        self, pending: Sequence[TrialSpec], jobs: int
+    ) -> None:
+        """Fan trials out over the supervised pool."""
+        tasks = [
+            SupervisedTask(
+                key=trial_cache_key(spec),
+                fn=_trial_execute,
+                payload=spec,
+                label=f"{spec.workload}/inject:{spec.config}#{spec.seed}",
+            )
+            for spec in pending
+        ]
+
+        def install(task: SupervisedTask, result: Any, history) -> None:
+            spec, payload, seconds = result
+            self._install_trial(
+                spec,
+                TrialResult.from_dict(payload),
+                "worker",
+                seconds,
+                attempts=len(history.attempts),
+            )
+
+        with self._supervisor(jobs) as sup:
+            sup.run(tasks, on_complete=install)
 
     def _lookup_trial(self, spec: TrialSpec) -> Optional[TrialResult]:
         """Memo, then persistent cache; ``None`` means 'must execute'.
@@ -283,17 +385,25 @@ class ExperimentRunner:
         return None
 
     def _install_trial(
-        self, spec: TrialSpec, result: TrialResult, source: str, seconds: float
+        self,
+        spec: TrialSpec,
+        result: TrialResult,
+        source: str,
+        seconds: float,
+        attempts: int = 1,
     ) -> None:
         """Record progress and store a fresh trial result in every layer."""
         self.progress.record(
             spec.workload, f"inject:{spec.config}", source, seconds
         )
         self._trial_results[spec] = result
+        key = trial_cache_key(spec)
         if self.cache is not None:
-            self.cache.store_payload(
-                trial_cache_key(spec), result.to_dict(), KIND_TRIAL
-            )
+            self.cache.store_payload(key, result.to_dict(), KIND_TRIAL)
+        self._journal_done(
+            key, KIND_TRIAL, f"{spec.workload}/inject:{spec.config}",
+            attempts, seconds,
+        )
 
     def run_traced(
         self,
@@ -401,36 +511,172 @@ class ExperimentRunner:
         return None
 
     def _simulate(self, workload: str, request: ConfigRequest) -> RunResult:
-        """Execute one run in-process and store it in every layer."""
-        with _Timer() as timer:
-            sim = self.simulator(workload)
-            baseline = None
-            if not request.is_baseline:
-                baseline = self.baseline(
-                    workload, request.memory_seed
-                ).baseline_profile()
-            result = sim.run(make_options(request, baseline))
-        self.progress.record(workload, request.config, "sim", timer.seconds)
-        self._store(workload, request, result)
-        return result
+        """Execute one run in-process and store it in every layer (under
+        the per-key cache lock when a cache is configured)."""
+        done: List[RunResult] = []
+
+        def execute() -> None:
+            with _Timer() as timer:
+                sim = self.simulator(workload)
+                baseline = None
+                if not request.is_baseline:
+                    baseline = self.baseline(
+                        workload, request.memory_seed
+                    ).baseline_profile()
+                result = sim.run(make_options(request, baseline))
+            self.progress.record(
+                workload, request.config, "sim", timer.seconds
+            )
+            self._store(
+                workload, request, result, seconds=timer.seconds
+            )
+            done.append(result)
+
+        def recheck() -> bool:
+            found = self._lookup(workload, request)
+            if found is not None:
+                done.append(found)
+                return True
+            return False
+
+        self._with_key_lock(
+            self.cache_key(workload, request), recheck=recheck,
+            execute=execute,
+        )
+        return done[-1]
 
     def _store(
-        self, workload: str, request: ConfigRequest, result: RunResult
+        self,
+        workload: str,
+        request: ConfigRequest,
+        result: RunResult,
+        attempts: int = 1,
+        seconds: float = 0.0,
     ) -> None:
-        """Install a fresh result into the memo and the persistent cache."""
+        """Install a fresh result into the memo, the persistent cache
+        and the completion journal."""
         self._results[(workload, request)] = result
+        key = self.cache_key(workload, request)
         if self.cache is not None:
-            self.cache.store(self.cache_key(workload, request), result)
+            self.cache.store(key, result)
+        self._journal_done(
+            key, KIND_RUN, f"{workload}/{request.config}", attempts, seconds
+        )
+
+    # -- resilience plumbing -------------------------------------------------
+    def _supervisor(self, jobs: int) -> Supervisor:
+        """A configured supervised pool, registered as active so chaos
+        tests and ops tooling can reach the live workers."""
+        sup = Supervisor(
+            self.resilience,
+            jobs,
+            progress=self.progress,
+            tracer=self.resilience_tracer,
+            metrics=self.resilience_metrics,
+            hooks=self.supervisor_hooks,
+        )
+        self._active_supervisor = sup
+
+        original_close = sup.close
+
+        def close(force: bool = False) -> None:
+            original_close(force)
+            if self._active_supervisor is sup:
+                self._active_supervisor = None
+            self.last_failure_report = sup.failure_report
+
+        sup.close = close  # type: ignore[method-assign]
+        return sup
+
+    def _journal_done(
+        self, key: str, kind: str, label: str, attempts: int, seconds: float
+    ) -> None:
+        """Append one completion record to the write-ahead journal."""
+        if self.journal is not None:
+            self.journal.append(
+                JournalRecord(
+                    key=key, kind=kind, label=label,
+                    attempts=attempts, seconds=seconds,
+                )
+            )
+
+    def _credit_resume(
+        self, keys: Iterable[str], pending_count: int
+    ) -> None:
+        """Count tasks the journal says are already done (each key
+        credited once per runner) and surface the resume through obs."""
+        fresh = [
+            k for k in keys
+            if k in self._resume_keys and k not in self._resume_credited
+        ]
+        if not fresh:
+            return
+        self._resume_credited.update(fresh)
+        self.progress.record_resumed(len(fresh))
+        self.resilience_metrics.counter("resilience.resumed_tasks").inc(
+            len(fresh)
+        )
+        tracer = self.resilience_tracer
+        if tracer is not None and getattr(tracer, "enabled", False):
+            tracer.emit(
+                CampaignResumed(
+                    ts_ns=0.0,
+                    core=MACHINE,
+                    journaled=len(fresh),
+                    pending=pending_count,
+                )
+            )
+
+    def _with_key_lock(
+        self,
+        key: str,
+        recheck: Callable[[], bool],
+        execute: Callable[[], None],
+    ) -> None:
+        """Run ``execute`` under ``key``'s best-effort cache lock.
+
+        Without a cache there is nothing to race on — execute directly.
+        When the lock is already held by a concurrent invocation, wait
+        (bounded by the policy), then ``recheck`` the cache: if the
+        winner published, reuse its entry; otherwise execute anyway —
+        the lock is an optimisation, never a correctness gate.
+        """
+        if self.cache is None:
+            execute()
+            return
+        lock = KeyLock(
+            self.cache.lock_path(key),
+            wait_s=self.resilience.lock_wait_s,
+            stale_s=self.resilience.lock_stale_s,
+        )
+        if lock.try_acquire():
+            # Uncontended: the common case pays one O_EXCL create, no
+            # recheck (the caller just looked the key up and missed).
+            try:
+                execute()
+            finally:
+                lock.release()
+            return
+        # Contended: another invocation is (or was) computing this key.
+        lock.acquire()
+        try:
+            if recheck():
+                return
+            execute()
+        finally:
+            lock.release()
 
     # -- parallel fan-out ----------------------------------------------------
     def _run_parallel(
         self, pending: Sequence[Tuple[str, ConfigRequest]], jobs: int
     ) -> None:
-        """Fan ``pending`` out over a process pool, baselines first.
+        """Fan ``pending`` out over the supervised pool, baselines first.
 
         Two phases: every needed NoCkpt baseline runs first (workers need
         its per-core useful-time profile to place boundaries and errors),
-        then all remaining pairs run fully independently.
+        then all remaining pairs run fully independently.  One supervisor
+        spans both phases, so surviving workers keep their warm
+        simulator memos.
         """
         baseline_reqs: Dict[Tuple[str, ConfigRequest], None] = {}
         for wl, req in pending:
@@ -450,24 +696,25 @@ class ExperimentRunner:
         ]
         phase2 = [(wl, req) for wl, req in pending if not req.is_baseline]
 
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        with self._supervisor(jobs) as sup:
             if phase1:
-                self._dispatch(pool, phase1, baselines=None)
+                self._dispatch_supervised(sup, phase1, baselines=None)
             if phase2:
                 profiles = {
                     key: list(self._results[key].per_core_useful_ns)
                     for key in baseline_reqs
                 }
-                self._dispatch(pool, phase2, baselines=profiles)
+                self._dispatch_supervised(sup, phase2, baselines=profiles)
 
-    def _dispatch(
+    def _dispatch_supervised(
         self,
-        pool: ProcessPoolExecutor,
+        sup: Supervisor,
         pairs: Sequence[Tuple[str, ConfigRequest]],
         baselines: Optional[Dict[Tuple[str, ConfigRequest], List[float]]],
     ) -> None:
-        """Submit one phase of pairs and install results as they arrive."""
-        tasks: List[_WorkerTask] = []
+        """Run one phase of pairs through the supervisor, installing
+        each result (memo + cache + journal) the moment it completes."""
+        tasks: List[SupervisedTask] = []
         for wl, req in pairs:
             profile = None
             if baselines is not None:
@@ -475,12 +722,26 @@ class ExperimentRunner:
                     (wl, ConfigRequest("NoCkpt", memory_seed=req.memory_seed))
                 ]
             tasks.append(
-                (wl, req, self.machine, self.region_scale, self.reps, profile)
+                SupervisedTask(
+                    key=self.cache_key(wl, req),
+                    fn=_worker_execute,
+                    payload=(
+                        wl, req, self.machine, self.region_scale, self.reps,
+                        profile,
+                    ),
+                    label=f"{wl}/{req.config}",
+                )
             )
-        for wl, req, payload, seconds in pool.map(_worker_execute, tasks):
-            result = RunResult.from_dict(payload)
+
+        def install(task: SupervisedTask, result: Any, history) -> None:
+            wl, req, payload, seconds = result
             self.progress.record(wl, req.config, "worker", seconds)
-            self._store(wl, req, result)
+            self._store(
+                wl, req, RunResult.from_dict(payload),
+                attempts=len(history.attempts), seconds=seconds,
+            )
+
+        sup.run(tasks, on_complete=install)
 
     # -- derived metrics ------------------------------------------------------
     def time_overhead(self, workload: str, request: ConfigRequest) -> float:

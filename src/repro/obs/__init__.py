@@ -20,14 +20,18 @@ from repro.obs.events import (
     AddrMapEvict,
     AddrMapHit,
     AddrMapInsert,
+    CampaignResumed,
     CheckpointBegin,
     CheckpointEnd,
     IntervalBoundary,
     LogWrite,
+    PoolDegraded,
     RecoveryBegin,
     RecoveryEnd,
     SliceRecompute,
+    TaskRetried,
     TraceEvent,
+    WorkerDied,
 )
 from repro.obs.export import (
     chrome_trace,
@@ -58,6 +62,10 @@ __all__ = [
     "SliceRecompute",
     "RecoveryBegin",
     "RecoveryEnd",
+    "TaskRetried",
+    "WorkerDied",
+    "PoolDegraded",
+    "CampaignResumed",
     "EVENT_TYPES",
     # tracers
     "Tracer",

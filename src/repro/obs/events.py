@@ -20,7 +20,12 @@ The event vocabulary mirrors the paper's mechanisms:
   fault-injection campaign engine (``repro.inject``): a bit flip landed
   in live state, and the recovered state either matched the golden
   re-execution bit-exactly or did not (§III-B's consistent recovery
-  line, checked rather than assumed).
+  line, checked rather than assumed);
+* ``TaskRetried``/``WorkerDied``/``PoolDegraded``/``CampaignResumed`` —
+  the supervised execution layer (``repro.resilience``): harness-level
+  recovery applied to the experiment engine itself.  These stamp
+  harness wall time (ns since the supervisor started) rather than
+  simulated time, and always carry the machine-wide core id.
 
 ``EVENT_TYPES`` maps wire names back to classes; the JSONL linter and
 the round-trip tests are driven from it, so a new event type only needs
@@ -47,6 +52,10 @@ __all__ = [
     "FaultInjected",
     "RecoveryVerified",
     "RecoveryDiverged",
+    "TaskRetried",
+    "WorkerDied",
+    "PoolDegraded",
+    "CampaignResumed",
     "EVENT_TYPES",
 ]
 
@@ -224,6 +233,54 @@ class RecoveryDiverged(TraceEvent):
     name: ClassVar[str] = "recovery_diverged"
 
 
+@dataclass(frozen=True, slots=True)
+class TaskRetried(TraceEvent):
+    """A supervised task's attempt failed; a retry was scheduled.
+
+    ``reason`` is the failed attempt's outcome (``error``, ``timeout``
+    or ``worker-died``); ``backoff_s`` the deterministic delay before
+    the next attempt.
+    """
+
+    label: str
+    attempt: int
+    reason: str
+    backoff_s: float
+
+    name: ClassVar[str] = "task_retried"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerDied(TraceEvent):
+    """A pool worker process died (SIGKILL, OOM, crash) mid-task."""
+
+    label: str
+    pid: int
+
+    name: ClassVar[str] = "worker_died"
+
+
+@dataclass(frozen=True, slots=True)
+class PoolDegraded(TraceEvent):
+    """The circuit breaker tripped after ``failures`` consecutive
+    pool-level failures; remaining tasks run serially in-process."""
+
+    failures: int
+
+    name: ClassVar[str] = "pool_degraded"
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignResumed(TraceEvent):
+    """A run resumed against a completion journal: ``journaled`` of the
+    requested tasks were already done, ``pending`` remained."""
+
+    journaled: int
+    pending: int
+
+    name: ClassVar[str] = "campaign_resumed"
+
+
 _EVENT_CLASSES: Tuple[Type[TraceEvent], ...] = (
     CheckpointBegin,
     CheckpointEnd,
@@ -238,6 +295,10 @@ _EVENT_CLASSES: Tuple[Type[TraceEvent], ...] = (
     FaultInjected,
     RecoveryVerified,
     RecoveryDiverged,
+    TaskRetried,
+    WorkerDied,
+    PoolDegraded,
+    CampaignResumed,
 )
 
 #: Wire name -> event class (drives the exporters and the JSONL linter).

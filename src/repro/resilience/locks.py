@@ -1,0 +1,110 @@
+"""Best-effort per-key lockfiles for the shared result cache.
+
+Two ``acr-repro`` invocations pointed at one ``--cache-dir`` can miss
+on the same key simultaneously and both pay for the simulation.  A
+:class:`KeyLock` makes the race cheap: the loser waits briefly for the
+winner's entry instead of recomputing.  The guarantees are deliberately
+*best-effort* — correctness never depends on the lock (cache writes are
+atomic and idempotent; a duplicated simulation is waste, not a bug), so
+every failure mode degrades to "simulate anyway":
+
+* acquisition is ``O_CREAT | O_EXCL`` — atomic on every platform;
+* a lock older than ``stale_s`` (by mtime) is presumed orphaned by a
+  crashed owner and broken;
+* waiting is bounded by ``wait_s``; on expiry the caller proceeds
+  without ownership.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Union
+
+__all__ = ["KeyLock"]
+
+
+class KeyLock:
+    """An advisory exclusive lock backed by one ``O_EXCL`` lockfile."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        wait_s: float = 10.0,
+        stale_s: float = 600.0,
+        poll_s: float = 0.05,
+    ) -> None:
+        self.path = Path(path)
+        self.wait_s = wait_s
+        self.stale_s = stale_s
+        self.poll_s = poll_s
+        self.owned = False
+
+    # ---------------------------------------------------------------- acquire --
+    def try_acquire(self) -> bool:
+        """One non-blocking attempt (stale locks are broken first)."""
+        self._break_if_stale()
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Unwritable cache directory etc. — locking is best-effort,
+            # so behave as if we own the lock and let the caller run.
+            self.owned = False
+            return True
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        finally:
+            os.close(fd)
+        self.owned = True
+        return True
+
+    def acquire(self) -> bool:
+        """Acquire, waiting up to ``wait_s`` for the current owner.
+
+        Returns ``True`` when this process owns the lock and should
+        execute, ``False`` when the wait expired with the lock still
+        held or after the owner released it — in both cases the caller
+        should re-check the cache (the winner probably published) and
+        only then fall back to executing unlocked.
+        """
+        deadline = time.monotonic() + self.wait_s
+        while True:
+            if self.try_acquire():
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(self.poll_s)
+
+    # ---------------------------------------------------------------- release --
+    def release(self) -> None:
+        """Drop ownership (missing file is fine — someone broke us)."""
+        if not self.owned:
+            return
+        self.owned = False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def _break_if_stale(self) -> None:
+        """Expire a lock whose mtime says its owner is long gone."""
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return
+        if age > self.stale_s:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------ context use --
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()

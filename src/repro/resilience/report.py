@@ -1,0 +1,185 @@
+"""Per-task attempt history and the campaign-level failure report.
+
+Every supervised task accumulates one :class:`AttemptRecord` per
+execution — outcome, wall seconds, the deterministic backoff scheduled
+after a failure — and the :class:`FailureReport` aggregates them for
+the campaign/report footer: which tasks retried, timed out, rode
+through a worker death, or forced the pool to degrade to serial.
+
+The report is *observability only*: it is printed beside (never inside)
+the campaign's JSON artifact, so a run that survived a SIGKILL still
+produces a byte-identical report file to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.util.tables import format_table
+
+__all__ = ["AttemptRecord", "TaskHistory", "FailureReport"]
+
+#: Attempt outcomes the supervisor records.
+OUTCOME_OK = "ok"
+OUTCOME_ERROR = "error"
+OUTCOME_TIMEOUT = "timeout"
+OUTCOME_WORKER_DIED = "worker-died"
+OUTCOMES = (OUTCOME_OK, OUTCOME_ERROR, OUTCOME_TIMEOUT, OUTCOME_WORKER_DIED)
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One execution of one task."""
+
+    #: 1-based attempt number.
+    attempt: int
+    #: One of :data:`OUTCOMES`.
+    outcome: str
+    #: Parent-observed wall seconds of the attempt.
+    seconds: float
+    #: Deterministic backoff scheduled after this attempt (0.0 when it
+    #: succeeded or exhausted the retry budget).
+    backoff_s: float = 0.0
+    #: Where the attempt ran (``worker`` or ``serial``).
+    where: str = "worker"
+    #: Failure detail (exception text, "wall-clock timeout", ...).
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise ValueError(
+                f"outcome must be one of {OUTCOMES}, got {self.outcome!r}"
+            )
+        if self.attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {self.attempt}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "attempt": self.attempt,
+            "outcome": self.outcome,
+            "seconds": self.seconds,
+            "backoff_s": self.backoff_s,
+            "where": self.where,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class TaskHistory:
+    """Everything one supervised task went through."""
+
+    key: str
+    label: str
+    attempts: List[AttemptRecord] = field(default_factory=list)
+
+    @property
+    def outcome(self) -> str:
+        """The final attempt's outcome (``ok`` iff the task completed)."""
+        return self.attempts[-1].outcome if self.attempts else OUTCOME_ERROR
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == OUTCOME_OK
+
+    @property
+    def retried(self) -> bool:
+        return len(self.attempts) > 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "label": self.label,
+            "outcome": self.outcome,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+
+@dataclass
+class FailureReport:
+    """Attempt histories plus the pool-level verdicts.
+
+    ``tasks`` holds only the *noteworthy* histories — anything that
+    retried or ultimately failed; clean single-attempt tasks are
+    summarised by ``clean_tasks`` so the report stays small on healthy
+    campaigns.
+    """
+
+    tasks: List[TaskHistory] = field(default_factory=list)
+    clean_tasks: int = 0
+    retried: int = 0
+    timed_out: int = 0
+    worker_deaths: int = 0
+    pool_respawns: int = 0
+    degraded_to_serial: bool = False
+
+    # ---------------------------------------------------------------- updates --
+    def absorb(self, history: TaskHistory) -> None:
+        """Fold one finished task history into the report."""
+        if history.retried or not history.ok:
+            self.tasks.append(history)
+        else:
+            self.clean_tasks += 1
+        if history.retried:
+            self.retried += 1
+        for attempt in history.attempts:
+            if attempt.outcome == "timeout":
+                self.timed_out += 1
+            elif attempt.outcome == "worker-died":
+                self.worker_deaths += 1
+
+    # ---------------------------------------------------------------- queries --
+    @property
+    def ok(self) -> bool:
+        """True iff every task ultimately completed."""
+        return all(t.ok for t in self.tasks)
+
+    @property
+    def failed_tasks(self) -> List[TaskHistory]:
+        return [t for t in self.tasks if not t.ok]
+
+    @property
+    def clean(self) -> bool:
+        """True iff nothing noteworthy happened at all."""
+        return (
+            not self.tasks
+            and not self.degraded_to_serial
+            and self.pool_respawns == 0
+        )
+
+    # -------------------------------------------------------------- rendering --
+    def summary_line(self) -> str:
+        return (
+            f"resilience: {self.retried} retried, {self.timed_out} timed "
+            f"out, {self.worker_deaths} worker deaths, "
+            f"{self.pool_respawns} respawns, degraded-to-serial "
+            f"{'yes' if self.degraded_to_serial else 'no'}"
+        )
+
+    def summary_table(self) -> str:
+        """Attempt-history table of every noteworthy task."""
+        rows = []
+        for task in self.tasks:
+            trail = " → ".join(
+                a.outcome + (f" ({a.detail})" if a.detail else "")
+                for a in task.attempts
+            )
+            rows.append([task.label, len(task.attempts), task.outcome, trail])
+        table = format_table(
+            ["task", "attempts", "final", "history"],
+            rows,
+            title="supervised-execution failures",
+        ) if rows else "supervised execution: all tasks clean"
+        return table + "\n" + self.summary_line()
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "clean_tasks": self.clean_tasks,
+            "retried": self.retried,
+            "timed_out": self.timed_out,
+            "worker_deaths": self.worker_deaths,
+            "pool_respawns": self.pool_respawns,
+            "degraded_to_serial": self.degraded_to_serial,
+            "tasks": [t.to_dict() for t in self.tasks],
+        }

@@ -1,0 +1,596 @@
+"""The crash-tolerant worker pool: supervise, retry, degrade, survive.
+
+:class:`Supervisor` replaces the bare ``ProcessPoolExecutor`` fan-out in
+the experiment engine with the recovery discipline the paper demands of
+its hardware (DESIGN §3.4):
+
+* **dispatch** — each worker is one child process with a private pipe;
+  the parent always knows exactly which task a dead worker was holding
+  (no shared queue to lose work in);
+* **watchdog** — per-task wall-clock deadlines; a hung worker is
+  SIGKILLed and its task re-queued;
+* **retry** — bounded re-execution with deterministic exponential
+  backoff + seeded jitter (:meth:`ResiliencePolicy.backoff_s`), so a
+  rerun of a flaky campaign schedules identical delays;
+* **respawn** — a worker that dies (SIGKILL, OOM, segfault) is replaced
+  and its in-flight task retried;
+* **circuit breaker** — after ``pool_failure_threshold`` consecutive
+  pool-level failures (deaths/timeouts, never ordinary task
+  exceptions), the pool is abandoned and the remaining tasks run
+  serially in-process — slower, but no longer exposed to whatever is
+  killing workers;
+* **clean interrupts** — ``KeyboardInterrupt`` kills the pool, leaves
+  every already-completed result installed (the caller's
+  ``on_complete`` ran as each task finished), and re-raises.
+
+Tasks are deterministic simulations, so none of this changes *what* is
+computed — chaos tests pin that a SIGKILL-riddled run's results are
+bit-identical to an undisturbed one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait as _conn_wait
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.obs.events import (
+    MACHINE,
+    PoolDegraded,
+    TaskRetried,
+    WorkerDied,
+)
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.report import (
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    OUTCOME_WORKER_DIED,
+    AttemptRecord,
+    FailureReport,
+    TaskHistory,
+)
+from repro.util.validation import check_positive
+
+__all__ = ["SupervisedTask", "Supervisor", "TaskFailedError"]
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its retry budget; the report names every attempt."""
+
+    def __init__(self, report: FailureReport) -> None:
+        failed = ", ".join(t.label for t in report.failed_tasks) or "<none>"
+        super().__init__(
+            f"{len(report.failed_tasks)} supervised task(s) failed after "
+            f"retries: {failed}"
+        )
+        self.report = report
+
+
+@dataclass(frozen=True)
+class SupervisedTask:
+    """One unit of supervised work.
+
+    ``fn`` must be a picklable module-level callable taking ``payload``
+    and returning a picklable result; ``key`` identifies the task for
+    backoff seeding and journaling (the cache key in the engine);
+    ``label`` is the human-readable name used in reports and events.
+    """
+
+    key: str
+    fn: Callable[[Any], Any]
+    payload: Any
+    label: str
+
+
+@dataclass
+class _TaskState:
+    task: SupervisedTask
+    history: TaskHistory
+    #: Monotonic time before which the next attempt must not start.
+    not_before: float = 0.0
+    done: bool = False
+    failed: bool = False
+    result: Any = None
+
+    @property
+    def next_attempt(self) -> int:
+        return len(self.history.attempts) + 1
+
+
+def _worker_loop(conn: Connection) -> None:
+    """Child-process body: execute tasks off the pipe until told to stop.
+
+    Task exceptions are *reported*, never fatal — the worker stays up;
+    only a ``None`` sentinel (or a closed pipe) ends the loop.
+    """
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        task_id, fn, payload = msg
+        t0 = time.perf_counter()
+        try:
+            result = fn(payload)
+            reply = (task_id, True, result, time.perf_counter() - t0)
+        except BaseException as exc:
+            reply = (
+                task_id,
+                False,
+                f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - t0,
+            )
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+
+
+class _Worker:
+    """Parent-side handle of one pool worker process."""
+
+    def __init__(self, ctx, wid: int) -> None:
+        self.conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_loop,
+            args=(child,),
+            daemon=True,
+            name=f"acr-supervised-{wid}",
+        )
+        self.process.start()
+        child.close()
+        self.state: Optional[_TaskState] = None
+        self.deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.state is not None
+
+    def assign(self, task_id: int, state: _TaskState, timeout_s) -> None:
+        self.conn.send((task_id, state.task.fn, state.task.payload))
+        self.state = state
+        self.deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+
+    def release(self) -> Optional[_TaskState]:
+        state, self.state, self.deadline = self.state, None, None
+        return state
+
+    def kill(self) -> None:
+        """Hard-stop the process (watchdog/interrupt path)."""
+        try:
+            self.process.kill()
+        except (OSError, ValueError, AttributeError):
+            pass
+        self.process.join(timeout=1.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def stop(self) -> None:
+        """Polite shutdown: sentinel, short join, then force."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+class Supervisor:
+    """Run batches of :class:`SupervisedTask` under full supervision.
+
+    Reusable across batches (the engine runs its baseline phase and its
+    dependent phase through one supervisor, keeping warm worker-side
+    simulator memos); use as a context manager so workers are reaped::
+
+        with Supervisor(policy, jobs=4, progress=progress) as sup:
+            sup.run(phase1, on_complete=install)
+            sup.run(phase2, on_complete=install)
+        report = sup.failure_report
+
+    ``progress`` is a :class:`~repro.experiments.progress.ProgressTracker`
+    (or None), ``metrics`` a :class:`~repro.obs.metrics.MetricsRegistry`
+    accumulating ``resilience.*`` counters, ``tracer`` an
+    :class:`~repro.obs.tracer.Tracer` receiving ``task_retried`` /
+    ``worker_died`` / ``pool_degraded`` events.  ``hooks`` is a test/ops
+    escape hatch: ``on_dispatch(worker, task)`` fires after each
+    dispatch (chaos tests SIGKILL the worker here), ``on_result(task)``
+    after each completion (chaos tests raise ``KeyboardInterrupt``).
+    """
+
+    def __init__(
+        self,
+        policy: Optional[ResiliencePolicy] = None,
+        jobs: int = 2,
+        progress=None,
+        tracer=None,
+        metrics=None,
+        hooks: Optional[Dict[str, Callable]] = None,
+        tick_s: float = 0.05,
+    ) -> None:
+        check_positive("jobs", jobs)
+        self.policy = policy or ResiliencePolicy()
+        self.jobs = jobs
+        self.progress = progress
+        self.tracer = tracer
+        self.metrics = metrics
+        self.hooks = hooks or {}
+        self.tick_s = tick_s
+        self.failure_report = FailureReport()
+        self.degraded = False
+        self._ctx = multiprocessing.get_context()
+        self._workers: List[_Worker] = []
+        self._next_wid = 0
+        self._pool_failures = 0  # consecutive deaths/timeouts (breaker)
+        self._recycled: List[_TaskState] = []
+        self._t0 = time.monotonic()
+        self._closed = False
+
+    # ------------------------------------------------------------- lifecycle --
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(force=exc_type is not None)
+
+    def close(self, force: bool = False) -> None:
+        """Shut every worker down (politely, or hard on ``force``)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if force or worker.busy:
+                worker.kill()
+            else:
+                worker.stop()
+        self._workers.clear()
+
+    def worker_pids(self) -> List[int]:
+        """Live worker pids (ops/chaos introspection)."""
+        return [
+            w.process.pid
+            for w in self._workers
+            if w.process.pid is not None and w.process.is_alive()
+        ]
+
+    # ------------------------------------------------------------------- run --
+    def run(
+        self,
+        tasks: Sequence[SupervisedTask],
+        on_complete: Optional[
+            Callable[[SupervisedTask, Any, TaskHistory], None]
+        ] = None,
+    ) -> Dict[str, Any]:
+        """Execute ``tasks``; returns ``{task.key: result}``.
+
+        ``on_complete`` fires in the parent as each task finishes —
+        before the batch ends — so an interrupt never discards finished
+        work.  Raises :class:`TaskFailedError` if any task exhausts its
+        retry budget (the other tasks still complete first).
+        """
+        if self._closed:
+            raise RuntimeError("supervisor is closed")
+        states = [_TaskState(t, TaskHistory(t.key, t.label)) for t in tasks]
+        by_id = {i: s for i, s in enumerate(states)}
+        ids = {id(s): i for i, s in enumerate(states)}
+        pending = deque(states)
+        waiting: List = []  # (ready_at, seq, state) backoff heap
+        seq = 0
+
+        try:
+            while not all(s.done for s in states):
+                now = time.monotonic()
+                while waiting and waiting[0][0] <= now:
+                    pending.append(heapq.heappop(waiting)[2])
+                if self.degraded:
+                    self._serial_step(pending, waiting, on_complete)
+                else:
+                    self._spawn_up_to(
+                        min(self.jobs, sum(1 for s in states if not s.done))
+                    )
+                    self._dispatch(pending, ids)
+                    self._collect(by_id, pending, waiting, on_complete)
+                seq = self._requeue_failures(states, pending, waiting, seq)
+        except KeyboardInterrupt:
+            # Flush is structural: completed tasks already ran
+            # on_complete.  Kill the pool so no orphan keeps simulating.
+            self.close(force=True)
+            raise
+
+        for state in states:
+            self.failure_report.absorb(state.history)
+        if any(s.failed for s in states):
+            raise TaskFailedError(self.failure_report)
+        return {s.task.key: s.result for s in states}
+
+    # -------------------------------------------------------------- pool side --
+    def _spawn_up_to(self, target: int) -> None:
+        while len(self._workers) < target:
+            self._workers.append(_Worker(self._ctx, self._next_wid))
+            self._next_wid += 1
+
+    def _idle_worker(self) -> Optional[_Worker]:
+        for worker in self._workers:
+            if not worker.busy and worker.process.is_alive():
+                return worker
+        return None
+
+    def _dispatch(self, pending, ids) -> None:
+        """Hand pending tasks to idle workers (a worker that died since
+        the last sweep costs nothing — replace it and re-queue)."""
+        while pending and (idle := self._idle_worker()) is not None:
+            state = pending.popleft()
+            try:
+                idle.assign(ids[id(state)], state, self.policy.timeout_s)
+            except OSError:
+                idle.release()
+                idle.kill()
+                self._replace(idle)
+                pending.appendleft(state)
+                continue
+            hook = self.hooks.get("on_dispatch")
+            if hook is not None:
+                hook(idle, state.task)
+
+    def _collect(self, by_id, pending, waiting, on_complete) -> None:
+        """One poll: receive results, then sweep deaths and deadlines."""
+        now = time.monotonic()
+        timeout = self.tick_s
+        for worker in self._workers:
+            if worker.busy and worker.deadline is not None:
+                timeout = min(timeout, max(0.0, worker.deadline - now))
+        if waiting:
+            timeout = min(timeout, max(0.0, waiting[0][0] - now))
+        conns = [w.conn for w in self._workers]
+        if not conns:
+            time.sleep(timeout)
+            return
+        ready = _conn_wait(conns, timeout)
+        by_conn = {w.conn: w for w in self._workers}
+        for conn in ready:
+            worker = by_conn[conn]
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                self._on_worker_death(worker)
+                continue
+            self._on_reply(worker, by_id, msg, on_complete)
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if not worker.busy:
+                if not worker.process.is_alive():
+                    self._replace(worker)
+                continue
+            if not worker.process.is_alive():
+                self._on_worker_death(worker)
+            elif worker.deadline is not None and now >= worker.deadline:
+                self._on_timeout(worker)
+
+    def _on_reply(self, worker, by_id, msg, on_complete) -> None:
+        task_id, ok, payload, seconds = msg
+        state = worker.release()
+        if state is None or by_id.get(task_id) is not state:
+            return  # stale reply from a recycled assignment
+        if ok:
+            self._complete(state, payload, seconds, "worker", on_complete)
+            self._pool_failures = 0
+        else:
+            self._attempt_failed(
+                state, OUTCOME_ERROR, seconds, "worker", payload
+            )
+
+    def _complete(self, state, result, seconds, where, on_complete) -> None:
+        state.history.attempts.append(
+            AttemptRecord(
+                attempt=state.next_attempt,
+                outcome=OUTCOME_OK,
+                seconds=seconds,
+                where=where,
+            )
+        )
+        state.result = result
+        state.done = True
+        self._count("resilience.tasks_ok")
+        if self.metrics is not None:
+            self.metrics.histogram("resilience.attempt_seconds").observe(
+                seconds
+            )
+        if on_complete is not None:
+            on_complete(state.task, result, state.history)
+        hook = self.hooks.get("on_result")
+        if hook is not None:
+            hook(state.task)
+
+    def _attempt_failed(
+        self, state, outcome: str, seconds: float, where: str, detail: str
+    ) -> None:
+        """Record a failed attempt; retry (with backoff) or give up."""
+        attempt = state.next_attempt
+        will_retry = attempt < self.policy.max_attempts
+        backoff = (
+            self.policy.backoff_s(state.task.key, attempt)
+            if will_retry
+            else 0.0
+        )
+        state.history.attempts.append(
+            AttemptRecord(
+                attempt=attempt,
+                outcome=outcome,
+                seconds=seconds,
+                backoff_s=backoff,
+                where=where,
+                detail=detail,
+            )
+        )
+        if outcome == OUTCOME_TIMEOUT:
+            self._count("resilience.timeouts")
+            if self.progress is not None:
+                self.progress.record_timeout()
+        elif outcome == OUTCOME_WORKER_DIED:
+            self._count("resilience.worker_deaths")
+            if self.progress is not None:
+                self.progress.record_worker_death()
+        if will_retry:
+            state.not_before = time.monotonic() + backoff
+            state.done = False
+            self._count("resilience.retries")
+            if self.metrics is not None:
+                self.metrics.histogram("resilience.backoff_seconds").observe(
+                    backoff
+                )
+            if self.progress is not None:
+                self.progress.record_retry()
+            self._emit(
+                TaskRetried(
+                    ts_ns=self._now_ns(),
+                    core=MACHINE,
+                    label=state.task.label,
+                    attempt=attempt,
+                    reason=outcome,
+                    backoff_s=backoff,
+                )
+            )
+        else:
+            state.failed = True
+            state.done = True
+
+    def _requeue_failures(self, states, pending, waiting, seq) -> int:
+        """Move freshly-failed-but-retryable tasks onto the backoff heap."""
+        queued = {id(s) for s in pending} | {id(w[2]) for w in waiting}
+        busy = {id(w.state) for w in self._workers if w.busy}
+        for state in states:
+            if state.done or id(state) in queued or id(state) in busy:
+                continue
+            heapq.heappush(waiting, (state.not_before, seq, state))
+            seq += 1
+        return seq
+
+    # ----------------------------------------------------- deaths & timeouts --
+    def _on_worker_death(self, worker: _Worker) -> None:
+        pid = worker.process.pid
+        state = worker.release()
+        worker.kill()
+        self._replace(worker)
+        if state is not None:
+            self._emit(
+                WorkerDied(
+                    ts_ns=self._now_ns(),
+                    core=MACHINE,
+                    label=state.task.label,
+                    pid=pid if pid is not None else -1,
+                )
+            )
+            self._attempt_failed(
+                state, OUTCOME_WORKER_DIED, 0.0, "worker",
+                f"worker pid {pid} died mid-task",
+            )
+            self._pool_failure()
+
+    def _on_timeout(self, worker: _Worker) -> None:
+        state = worker.release()
+        worker.kill()
+        self._replace(worker)
+        if state is not None:
+            self._attempt_failed(
+                state, OUTCOME_TIMEOUT, self.policy.timeout_s or 0.0,
+                "worker", "wall-clock timeout",
+            )
+            self._pool_failure()
+
+    def _replace(self, worker: _Worker) -> None:
+        """Swap a dead/killed worker for a fresh process."""
+        if worker in self._workers:
+            self._workers.remove(worker)
+        if not self.degraded and not self._closed:
+            self._workers.append(_Worker(self._ctx, self._next_wid))
+            self._next_wid += 1
+            self.failure_report.pool_respawns += 1
+            self._count("resilience.pool_respawns")
+
+    def _pool_failure(self) -> None:
+        self._pool_failures += 1
+        if self._pool_failures >= self.policy.pool_failure_threshold:
+            self._degrade()
+
+    def _degrade(self) -> None:
+        """Trip the circuit breaker: abandon the pool, go serial."""
+        if self.degraded:
+            return
+        self.degraded = True
+        self.failure_report.degraded_to_serial = True
+        self._emit(
+            PoolDegraded(
+                ts_ns=self._now_ns(),
+                core=MACHINE,
+                failures=self._pool_failures,
+            )
+        )
+        self._count("resilience.degraded")
+        if self.progress is not None:
+            self.progress.record_degraded()
+        # Recycle in-flight assignments: those attempts were killed by
+        # us, not by the task, so they do not consume retry budget.
+        recycled = []
+        for worker in self._workers:
+            state = worker.release()
+            if state is not None:
+                recycled.append(state)
+            worker.kill()
+        self._workers.clear()
+        self._recycled = recycled
+
+    def _serial_step(self, pending, waiting, on_complete) -> None:
+        """Degraded mode: one in-process execution (or a backoff nap)."""
+        if self._recycled:
+            pending.extendleft(reversed(self._recycled))
+            self._recycled = []
+        if not pending:
+            if waiting:
+                time.sleep(
+                    max(0.0, min(self.tick_s,
+                                 waiting[0][0] - time.monotonic()))
+                )
+            return
+        state = pending.popleft()
+        t0 = time.perf_counter()
+        try:
+            result = state.task.fn(state.task.payload)
+        except KeyboardInterrupt:
+            raise
+        except BaseException as exc:
+            self._attempt_failed(
+                state, OUTCOME_ERROR, time.perf_counter() - t0, "serial",
+                f"{type(exc).__name__}: {exc}",
+            )
+            return
+        self._complete(
+            state, result, time.perf_counter() - t0, "serial", on_complete
+        )
+
+    # ------------------------------------------------------------------- obs --
+    def _now_ns(self) -> float:
+        return (time.monotonic() - self._t0) * 1e9
+
+    def _emit(self, event) -> None:
+        if self.tracer is not None and getattr(self.tracer, "enabled", False):
+            self.tracer.emit(event)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(n)

@@ -1,0 +1,115 @@
+"""Journal format contracts: round-trip, torn tails, schema drift."""
+
+import json
+import tempfile
+import warnings
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.resilience.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    CompletionJournal,
+    JournalRecord,
+)
+
+records = st.builds(
+    JournalRecord,
+    key=st.text(alphabet="0123456789abcdef", min_size=1, max_size=64),
+    kind=st.sampled_from(["run", "inject-trial"]),
+    label=st.text(max_size=30),
+    attempts=st.integers(min_value=1, max_value=50),
+    seconds=st.floats(
+        min_value=0.0, allow_nan=False, allow_infinity=False, width=64
+    ),
+)
+
+
+def _sample(key="ab12", attempts=1):
+    return JournalRecord(
+        key=key, kind="run", label="bt/ReCkpt_E",
+        attempts=attempts, seconds=0.25,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(batch=st.lists(records, max_size=20))
+def test_append_load_round_trip_last_wins(batch):
+    with tempfile.TemporaryDirectory() as td:
+        journal = CompletionJournal(Path(td) / "journal.jsonl")
+        for record in batch:
+            journal.append(record)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            loaded = journal.load()
+    assert loaded == {r.key: r for r in batch}
+
+
+def test_missing_file_is_empty(tmp_path):
+    assert CompletionJournal(tmp_path / "absent.jsonl").load() == {}
+
+
+def test_torn_final_line_is_ignored_silently(tmp_path):
+    journal = CompletionJournal(tmp_path / "journal.jsonl")
+    journal.append(_sample("aa"))
+    journal.append(_sample("bb"))
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write('{"v": 1, "key": "cc", "kind": "ru')  # crash mid-append
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        loaded = journal.load()
+    assert set(loaded) == {"aa", "bb"}
+
+
+def test_corrupt_interior_line_warns_and_skips(tmp_path):
+    journal = CompletionJournal(tmp_path / "journal.jsonl")
+    journal.append(_sample("aa"))
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write("not json at all\n")
+    journal.append(_sample("bb"))
+    with pytest.warns(UserWarning, match="undecodable"):
+        loaded = journal.load()
+    assert set(loaded) == {"aa", "bb"}
+
+
+def test_schema_version_mismatch_discards_whole_journal(tmp_path):
+    journal = CompletionJournal(tmp_path / "journal.jsonl")
+    journal.append(_sample("aa"))
+    doc = _sample("bb").to_dict()
+    doc["v"] = JOURNAL_SCHEMA_VERSION + 1
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(doc) + "\n")
+    with pytest.warns(UserWarning, match="schema version"):
+        loaded = journal.load()
+    assert loaded == {}
+
+
+def test_record_with_drifted_fields_warns_and_skips(tmp_path):
+    journal = CompletionJournal(tmp_path / "journal.jsonl")
+    doc = _sample("aa").to_dict()
+    doc["surprise"] = True
+    with open(journal.path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(doc) + "\n")
+    journal.append(_sample("bb"))
+    with pytest.warns(UserWarning, match="bad journal record"):
+        loaded = journal.load()
+    assert set(loaded) == {"bb"}
+
+
+def test_rejournaled_key_last_record_wins(tmp_path):
+    journal = CompletionJournal(tmp_path / "journal.jsonl")
+    journal.append(_sample("aa", attempts=1))
+    journal.append(_sample("aa", attempts=3))
+    assert journal.load()["aa"].attempts == 3
+    assert len(journal) == 1
+    assert "aa" in journal
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        JournalRecord(key="", kind="run", label="x", attempts=1, seconds=0.0)
+    with pytest.raises(ValueError):
+        JournalRecord(key="a", kind="run", label="x", attempts=0, seconds=0.0)
+    with pytest.raises(ValueError):
+        JournalRecord.from_dict(["not", "a", "dict"])

@@ -1,0 +1,70 @@
+"""Per-key lockfile contracts: exclusion, staleness, bounded waits."""
+
+import os
+
+from repro.resilience.locks import KeyLock
+
+
+def test_exclusive_acquire_and_release(tmp_path):
+    path = tmp_path / "k.lock"
+    a = KeyLock(path, wait_s=0.0)
+    b = KeyLock(path, wait_s=0.0)
+    assert a.try_acquire()
+    assert path.exists()
+    assert not b.try_acquire()
+    a.release()
+    assert not path.exists()
+    assert b.try_acquire()
+    b.release()
+
+
+def test_lockfile_records_owner_pid(tmp_path):
+    path = tmp_path / "k.lock"
+    lock = KeyLock(path)
+    assert lock.try_acquire()
+    assert path.read_text().strip() == str(os.getpid())
+    lock.release()
+
+
+def test_bounded_wait_expires_without_ownership(tmp_path):
+    path = tmp_path / "k.lock"
+    holder = KeyLock(path)
+    assert holder.try_acquire()
+    waiter = KeyLock(path, wait_s=0.1, poll_s=0.02)
+    assert waiter.acquire() is False
+    assert not waiter.owned
+    holder.release()
+
+
+def test_stale_lock_is_broken_by_mtime(tmp_path):
+    path = tmp_path / "k.lock"
+    path.write_text("99999\n")  # orphan left by a crashed owner
+    old = path.stat().st_mtime - 3600
+    os.utime(path, (old, old))
+    lock = KeyLock(path, stale_s=600.0)
+    assert lock.try_acquire()
+    assert lock.owned
+    lock.release()
+
+
+def test_fresh_lock_is_not_broken(tmp_path):
+    path = tmp_path / "k.lock"
+    path.write_text("99999\n")
+    assert not KeyLock(path, stale_s=600.0).try_acquire()
+
+
+def test_release_survives_external_break(tmp_path):
+    path = tmp_path / "k.lock"
+    lock = KeyLock(path)
+    assert lock.try_acquire()
+    path.unlink()  # someone broke us as stale
+    lock.release()  # must not raise
+    assert not lock.owned
+
+
+def test_context_manager(tmp_path):
+    path = tmp_path / "k.lock"
+    with KeyLock(path) as acquired:
+        assert acquired
+        assert path.exists()
+    assert not path.exists()

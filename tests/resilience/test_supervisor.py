@@ -1,0 +1,212 @@
+"""Supervisor unit tests: retries, watchdog, respawn, circuit breaker.
+
+The task functions are module-level (they cross the worker pipe by
+reference) and coordinate across attempts through marker files — the
+first attempt misbehaves, later attempts find the marker and succeed.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.experiments.progress import ProgressTracker
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import RecordingTracer
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.report import OUTCOME_OK
+from repro.resilience.supervisor import (
+    SupervisedTask,
+    Supervisor,
+    TaskFailedError,
+)
+
+chaos = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"),
+    reason="chaos tests need SIGKILL",
+)
+
+
+# ------------------------------------------------------------- task functions
+def _square(n):
+    return n * n
+
+
+def _fail_once(payload):
+    marker, value = payload
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("tried\n")
+        raise RuntimeError("transient failure")
+    return value
+
+
+def _always_fail(payload):
+    raise ValueError("doomed")
+
+
+def _suicide_once(payload):
+    marker, value = payload
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("killed\n")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value
+
+
+def _hang_once(payload):
+    marker, value = payload
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("hung\n")
+        time.sleep(60.0)
+    return value
+
+
+def _die_unless_parent(payload):
+    parent_pid, value = payload
+    if os.getpid() != parent_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value
+
+
+def _tasks(fn, payloads):
+    return [
+        SupervisedTask(key=f"task-{i:02x}", fn=fn, payload=p, label=f"t{i}")
+        for i, p in enumerate(payloads)
+    ]
+
+
+def _fast_policy(**kw):
+    kw.setdefault("backoff_base_s", 0.01)
+    kw.setdefault("backoff_max_s", 0.05)
+    return ResiliencePolicy(**kw)
+
+
+# ------------------------------------------------------------------ contracts
+def test_happy_path_returns_all_results():
+    progress = ProgressTracker()
+    with Supervisor(_fast_policy(), jobs=2, progress=progress) as sup:
+        results = sup.run(_tasks(_square, [2, 3, 4, 5]))
+    assert results == {"task-00": 4, "task-01": 9, "task-02": 16, "task-03": 25}
+    assert sup.failure_report.clean
+    assert progress.retried == 0
+    assert progress.worker_deaths == 0
+
+
+def test_on_complete_fires_per_task():
+    seen = []
+    with Supervisor(_fast_policy(), jobs=2) as sup:
+        sup.run(
+            _tasks(_square, [1, 2, 3]),
+            on_complete=lambda task, result, history: seen.append(
+                (task.key, result, history.ok)
+            ),
+        )
+    assert sorted(seen) == [
+        ("task-00", 1, True), ("task-01", 4, True), ("task-02", 9, True),
+    ]
+
+
+def test_task_error_retries_with_deterministic_backoff(tmp_path):
+    policy = _fast_policy()
+    progress = ProgressTracker()
+    metrics = MetricsRegistry()
+    tasks = _tasks(_fail_once, [(str(tmp_path / "m0"), 7)])
+    with Supervisor(policy, jobs=1, progress=progress, metrics=metrics) as sup:
+        results = sup.run(tasks)
+    assert results == {"task-00": 7}
+    (history,) = sup.failure_report.tasks
+    assert [a.outcome for a in history.attempts] == ["error", OUTCOME_OK]
+    # The recorded backoff is exactly what the policy schedules — a
+    # rerun would wait the identical delay.
+    assert history.attempts[0].backoff_s == policy.backoff_s("task-00", 1)
+    assert progress.retried == 1
+    assert metrics.counter("resilience.retries").value == 1
+
+
+def test_exhausted_retries_raise_with_full_history():
+    with Supervisor(_fast_policy(max_retries=1), jobs=1) as sup:
+        with pytest.raises(TaskFailedError) as exc:
+            sup.run(_tasks(_always_fail, [None]))
+    (history,) = exc.value.report.failed_tasks
+    assert len(history.attempts) == 2
+    assert all(a.outcome == "error" for a in history.attempts)
+    assert "doomed" in history.attempts[0].detail
+
+
+def test_other_tasks_complete_before_the_failure_is_raised():
+    tasks = [
+        SupervisedTask(key="good", fn=_square, payload=3, label="good"),
+        SupervisedTask(key="bad", fn=_always_fail, payload=None, label="bad"),
+    ]
+    done = []
+    with Supervisor(_fast_policy(max_retries=0), jobs=2) as sup:
+        with pytest.raises(TaskFailedError):
+            sup.run(tasks, on_complete=lambda t, r, h: done.append(t.key))
+    assert done == ["good"]
+
+
+def test_closed_supervisor_refuses_to_run():
+    sup = Supervisor(_fast_policy(), jobs=1)
+    sup.close()
+    with pytest.raises(RuntimeError):
+        sup.run(_tasks(_square, [1]))
+
+
+# ---------------------------------------------------------------------- chaos
+@chaos
+@pytest.mark.chaos
+def test_sigkilled_worker_respawns_and_task_retries(tmp_path):
+    progress = ProgressTracker()
+    tracer = RecordingTracer()
+    tasks = _tasks(_suicide_once, [(str(tmp_path / "m0"), 11)])
+    with Supervisor(
+        _fast_policy(), jobs=1, progress=progress, tracer=tracer
+    ) as sup:
+        results = sup.run(tasks)
+    assert results == {"task-00": 11}
+    assert progress.worker_deaths == 1
+    assert progress.retried == 1
+    assert sup.failure_report.pool_respawns >= 1
+    names = [type(e).__name__ for e in tracer.events]
+    assert "WorkerDied" in names and "TaskRetried" in names
+    (history,) = sup.failure_report.tasks
+    assert [a.outcome for a in history.attempts] == ["worker-died", OUTCOME_OK]
+
+
+@chaos
+@pytest.mark.chaos
+def test_hung_task_times_out_and_retries(tmp_path):
+    progress = ProgressTracker()
+    tasks = _tasks(_hang_once, [(str(tmp_path / "m0"), 13)])
+    with Supervisor(
+        _fast_policy(timeout_s=0.5), jobs=1, progress=progress
+    ) as sup:
+        results = sup.run(tasks)
+    assert results == {"task-00": 13}
+    assert progress.timed_out == 1
+    (history,) = sup.failure_report.tasks
+    assert [a.outcome for a in history.attempts] == ["timeout", OUTCOME_OK]
+
+
+@chaos
+@pytest.mark.chaos
+def test_circuit_breaker_degrades_to_serial():
+    progress = ProgressTracker()
+    payloads = [(os.getpid(), v) for v in (1, 2, 3, 4)]
+    policy = _fast_policy(max_retries=3, pool_failure_threshold=2)
+    with Supervisor(policy, jobs=2, progress=progress) as sup:
+        results = sup.run(_tasks(_die_unless_parent, payloads))
+    assert sup.degraded
+    assert results == {f"task-{i:02x}": v for i, v in enumerate((1, 2, 3, 4))}
+    assert sup.failure_report.degraded_to_serial
+    assert progress.degraded_to_serial == 1
+    assert progress.worker_deaths >= 2
+    # Serial completions are attributed to the parent process.
+    assert any(
+        a.where == "serial" and a.outcome == OUTCOME_OK
+        for t in sup.failure_report.tasks
+        for a in t.attempts
+    )

@@ -334,5 +334,15 @@ class TestInjectCommand:
         serial = capsys.readouterr().out
         assert main(["inject", "cg", "--trials", "3", "--jobs", "2"]) == 0
         parallel = capsys.readouterr().out
-        # Identical campaign table/verdict; only the runs: footer differs.
-        assert parallel.splitlines()[:-1] == serial.splitlines()[:-1]
+
+        # Identical campaign table/verdict; only the runs: footer differs
+        # (sim vs worker attribution).  The resilience footer shows
+        # visible zeros on both paths.
+        def stable(text):
+            return [
+                line for line in text.splitlines()
+                if not line.startswith("runs:")
+            ]
+
+        assert stable(parallel) == stable(serial)
+        assert "resilience: 0 retried" in serial
