@@ -1,0 +1,139 @@
+"""Perf guardrail: the vector engine must stay fast *and* bit-identical.
+
+CI runs this module on every push (the ``perf-guardrail`` job).  Three
+properties are pinned:
+
+1. **Bit identity on the fig6 smoke** — the two cheapest workloads run
+   every-configuration sweeps under both engines; the results checksums
+   must match exactly.
+2. **Speedup floor** — interleaved best-of-N timing of the shared-
+   simulator hot loop; the vector engine must beat the interpreter by
+   ``MIN_SPEEDUP``.  The floor is deliberately well below the full-scale
+   speedup recorded in ``BENCH_fig06_time_overhead.json`` (~5x): CI
+   machines are noisy and small scales dilute the win with fixed costs,
+   and a guardrail that cries wolf gets deleted.
+3. **Committed snapshots stay valid** — ``BENCH_*.json`` at the repo
+   root parse, follow schema v1, contain both engines, agree on their
+   checksums (the recorded bit-identity certificate) and record a
+   healthy vector speedup.
+
+Scale knobs: ``REPRO_GUARDRAIL_MIN_SPEEDUP`` overrides the floor (CI
+hosts differ), ``REPRO_BENCH_*`` the usual harness knobs.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+import pytest
+
+from _bench_lib import load_snapshot, results_checksum
+
+from repro.arch.config import MachineConfig
+from repro.experiments.configs import CONFIG_NAMES, ConfigRequest, make_options
+from repro.sim.simulator import Simulator
+from repro.workloads.registry import get_workload
+
+#: The two cheapest registered workloads (smallest regions/site counts).
+SMOKE_WORKLOADS = ("cg", "is")
+
+#: Vector-over-interp floor for the CI-scale hot loop.
+MIN_SPEEDUP = float(os.environ.get("REPRO_GUARDRAIL_MIN_SPEEDUP", "2.0"))
+
+#: Recorded full-scale floor the committed fig06 snapshot must show.
+MIN_COMMITTED_SPEEDUP = 4.0
+
+_SMOKE_CORES = 2
+_SMOKE_SCALE = 0.2
+_SMOKE_REPS = 12
+
+
+def _sweep(sim, spec, engine):
+    """All nine configurations under one engine -> {config: to_dict()}."""
+    results = {}
+    baseline = None
+    for name in CONFIG_NAMES:
+        request = ConfigRequest(
+            name, num_checkpoints=4, threshold=spec.default_threshold
+        )
+        res = sim.run(make_options(request, baseline, engine=engine))
+        if request.is_baseline:
+            baseline = res.baseline_profile()
+        results[name] = res.to_dict()
+    return results
+
+
+@pytest.fixture(scope="module", params=SMOKE_WORKLOADS)
+def smoke(request):
+    spec = get_workload(request.param)
+    programs = spec.build_programs(
+        _SMOKE_CORES, region_scale=_SMOKE_SCALE, reps=_SMOKE_REPS
+    )
+    sim = Simulator(programs, MachineConfig(num_cores=_SMOKE_CORES))
+    return request.param, spec, sim
+
+
+class TestBitIdentity:
+    def test_fig6_smoke_checksums_match(self, smoke):
+        workload, spec, sim = smoke
+        interp = results_checksum(_sweep(sim, spec, "interp"))
+        vector = results_checksum(_sweep(sim, spec, "vector"))
+        assert interp == vector, f"engine divergence on {workload}"
+
+
+class TestSpeedupFloor:
+    def test_vector_beats_interpreter(self, smoke):
+        workload, spec, sim = smoke
+        request = ConfigRequest(
+            "ReCkpt_NE", num_checkpoints=4, threshold=spec.default_threshold
+        )
+        baseline = sim.run(
+            make_options(ConfigRequest("NoCkpt"), None, engine="vector")
+        ).baseline_profile()
+        opts = {
+            e: make_options(request, baseline, engine=e)
+            for e in ("interp", "vector")
+        }
+        sim.run(opts["vector"])  # warm plans/compile caches
+        mins = {"interp": float("inf"), "vector": float("inf")}
+        for _ in range(3):  # interleaved best-of-3
+            for engine in ("interp", "vector"):
+                gc.collect()
+                t0 = time.perf_counter()
+                sim.run(opts[engine])
+                mins[engine] = min(mins[engine], time.perf_counter() - t0)
+        speedup = mins["interp"] / mins["vector"]
+        assert speedup >= MIN_SPEEDUP, (
+            f"{workload}: vector only {speedup:.2f}x over interp "
+            f"(interp {mins['interp'] * 1e3:.1f} ms, "
+            f"vector {mins['vector'] * 1e3:.1f} ms, floor {MIN_SPEEDUP}x)"
+        )
+
+
+class TestCommittedSnapshots:
+    @pytest.mark.parametrize("name", ("fig06_time_overhead", "micro"))
+    def test_schema_and_identity(self, name):
+        entries = load_snapshot(name)
+        assert entries, f"BENCH_{name}.json missing — run snapshot_engines.py"
+        by_engine = {}
+        for entry in entries:
+            assert entry["schema"] == 1
+            assert entry["bench"] == name
+            assert entry["wall_s"] > 0
+            assert len(entry["results_sha256"]) == 64
+            by_engine[entry["engine"]] = entry
+        assert set(by_engine) == {"interp", "vector"}
+        # The recorded bit-identity certificate.
+        assert (
+            by_engine["interp"]["results_sha256"]
+            == by_engine["vector"]["results_sha256"]
+        )
+        assert by_engine["vector"]["wall_s"] < by_engine["interp"]["wall_s"]
+
+    def test_fig06_records_healthy_speedup(self):
+        entries = load_snapshot("fig06_time_overhead")
+        assert entries
+        vector = next(e for e in entries if e["engine"] == "vector")
+        assert vector["speedup_vs_interp"] >= MIN_COMMITTED_SPEEDUP

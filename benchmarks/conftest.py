@@ -11,6 +11,8 @@ Scale knobs (environment):
 * ``REPRO_BENCH_SCALE``  — workload region scale (default 1.0, the
   calibrated fidelity; smaller = faster, same shapes);
 * ``REPRO_BENCH_CORES``  — core count (default 8, the paper's headline);
+* ``REPRO_BENCH_ENGINE`` — execution engine, ``interp`` (default) or
+  ``vector`` (bit-identical results, several times faster);
 * ``REPRO_BENCH_REPS``   — timesteps per run (default: workload default);
 * ``REPRO_BENCH_JOBS``   — worker processes for independent runs
   (default 1 = serial; parallel results are bit-identical);
@@ -33,6 +35,7 @@ import pytest
 from _bench_lib import (
     BENCH_CACHE,
     BENCH_CORES,
+    BENCH_ENGINE,
     BENCH_JOBS,
     BENCH_REPS,
     BENCH_RESUME,
@@ -59,6 +62,7 @@ def runner() -> ExperimentRunner:
             max_retries=BENCH_RETRIES, timeout_s=BENCH_TIMEOUT
         ),
         resume=BENCH_RESUME,
+        engine=BENCH_ENGINE,
     )
 
 

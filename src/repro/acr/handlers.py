@@ -102,6 +102,19 @@ class AcrCheckpointHandler:
         """The embedded slice covering ``site`` on ``core`` (if any)."""
         return self._site_slices[core].get(site)
 
+    def site_slice_map(self, core: int) -> Dict[int, Slice]:
+        """The full site -> Slice map of ``core`` (read-only use)."""
+        return self._site_slices[core]
+
+    @property
+    def observed(self) -> bool:
+        """True when a tracer or metrics registry is attached.
+
+        Engines that inline the store-time protocol must take the slow
+        (method-call) path then, so events and counters keep flowing.
+        """
+        return self._tracer is not None or self._metrics is not None
+
     # -- store-time control (paper Fig. 4a) ----------------------------------
     def on_store(
         self, core: int, site: int, address: int, regs: Sequence[int]

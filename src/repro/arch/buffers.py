@@ -106,6 +106,17 @@ class AddrMap:
         gen.entries.pop(address, None)
         gen.tombstones.add(address)
 
+    def internal_state(self) -> Tuple[_Generation, List[_Generation]]:
+        """``(open_generation, committed_generations)`` for engines that
+        inline :meth:`invalidate` / :meth:`committed_lookup`.
+
+        Generations rotate at checkpoint boundaries (``commit_generation``
+        rebinds the open generation), so callers must re-fetch this
+        between checkpoint intervals; the committed *list* is mutated in
+        place and stays valid.
+        """
+        return self._open, self._committed
+
     def committed_lookup(self, address: int) -> Optional[AddrMapEntry]:
         """Youngest committed knowledge about ``address``.
 

@@ -68,6 +68,16 @@ class SetAssociativeCache:
         cset[line] = is_write
         return AccessResult(False, victim_line, victim_dirty)
 
+    def internal_state(self):
+        """``(sets, num_sets, ways)`` for engines that inline :meth:`access`.
+
+        The returned set list is the live state: callers replicating the
+        access protocol mutate it directly and bump the public counters
+        themselves (the vector engine batches counter updates per
+        segment).
+        """
+        return self._sets, self._num_sets, self._ways
+
     def contains(self, line: int) -> bool:
         """True when ``line`` is resident (does not touch LRU order)."""
         return line in self._set_for(line)

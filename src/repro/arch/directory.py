@@ -90,6 +90,14 @@ class Directory:
         """Unique addresses handled so far this interval."""
         return len(self._log_bits)
 
+    def log_bit_set(self) -> Set[int]:
+        """The live log-bit set, for engines inlining the first-mod check.
+
+        ``clear_log_bits`` clears this set in place, so a held reference
+        stays valid across interval boundaries.
+        """
+        return self._log_bits
+
     # -- communication tracking (line granularity) ----------------------------
     def record_access(self, core: int, line: int) -> None:
         """Note that ``core`` touched ``line`` this interval.
@@ -104,6 +112,13 @@ class Directory:
             edge = (prev, core) if prev < core else (core, prev)
             self._edges.add(edge)
             self._line_toucher[line] = core
+
+    def comm_state(self) -> Tuple[Dict[int, int], Set[Tuple[int, int]]]:
+        """``(line_toucher, edges)`` for engines inlining
+        :meth:`record_access`.  Both are cleared in place at interval
+        boundaries, so held references stay valid.
+        """
+        return self._line_toucher, self._edges
 
     def communication_groups(self) -> List[FrozenSet[int]]:
         """Communicating clusters of cores for the current interval.

@@ -73,6 +73,12 @@ class IntervalLog:
         self.omitted: List[OmittedRecord] = []
         self._observer = observer
 
+    @property
+    def observed(self) -> bool:
+        """True when an observer is attached (engines inlining the append
+        fast path must call :meth:`add_record`/:meth:`add_omitted` then)."""
+        return self._observer is not None
+
     def add_record(self, address: int, old_value: int, core: int) -> None:
         """Log an old value (baseline path)."""
         rec = LogRecord(address, old_value, core)

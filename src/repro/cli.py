@@ -103,6 +103,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="persist results here and reuse them across "
                              "invocations (content-addressed, versioned)")
+    parser.add_argument("--engine", choices=["interp", "vector"],
+                        default="interp",
+                        help="execution engine: the classic per-"
+                             "instruction interpreter or the vectorized "
+                             "trace-replay engine (bit-identical results, "
+                             "several times faster)")
     _add_resilience(parser)
 
 
@@ -148,6 +154,7 @@ def _runner(args) -> ExperimentRunner:
         num_cores=args.cores, region_scale=args.scale, reps=args.reps,
         jobs=args.jobs, cache_dir=args.cache_dir,
         resilience=_policy(args), resume=args.resume,
+        engine=args.engine,
     )
 
 
@@ -397,6 +404,7 @@ def cmd_inject(args) -> int:
     runner = ExperimentRunner(
         jobs=args.jobs, cache_dir=args.cache_dir,
         resilience=_policy(args), resume=args.resume,
+        engine=args.engine,
     )
     report = run_campaign(runner, specs)
     print(report.summary_table())
@@ -568,6 +576,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", type=str, default=None,
                    help="persist per-trial results here (content-"
                         "addressed, versioned)")
+    p.add_argument("--engine", choices=["interp", "vector"],
+                   default="interp",
+                   help="interpreter flavour for both passes "
+                        "(bit-identical results)")
     _add_resilience(p)
     p.add_argument("--json", type=str, default=None,
                    help="also write the machine-readable report here")

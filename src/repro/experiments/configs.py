@@ -121,12 +121,17 @@ def make_options(
     slice_policy: Optional[SelectionPolicy] = None,
     tracer: Optional[Tracer] = None,
     collect_metrics: bool = False,
+    engine: str = "interp",
 ) -> SimulationOptions:
     """Build the simulator options for one configuration request.
 
     ``tracer``/``collect_metrics`` attach the observability layer; they
     are *not* part of the cache key (a traced run must bypass the result
-    cache — see :meth:`ExperimentRunner.run_traced`).
+    cache — see :meth:`ExperimentRunner.run_traced`).  ``engine`` selects
+    the execution engine; it is deliberately **not** a
+    :class:`ConfigRequest` field either, because both engines produce
+    bit-identical results (the differential equivalence suite pins this)
+    — the cache may serve a result computed by either one.
     """
     if request.is_baseline:
         return SimulationOptions(
@@ -135,6 +140,7 @@ def make_options(
             memory_seed=request.memory_seed,
             tracer=tracer,
             collect_metrics=collect_metrics,
+            engine=engine,
         )
     errors = (
         UniformErrors(request.error_count) if request.with_errors else NoErrors()
@@ -155,4 +161,5 @@ def make_options(
         memory_seed=request.memory_seed,
         tracer=tracer,
         collect_metrics=collect_metrics,
+        engine=engine,
     )

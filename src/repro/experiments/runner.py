@@ -76,9 +76,15 @@ __all__ = ["ExperimentRunner"]
 
 #: One unit of pool work: everything a worker needs to rebuild the
 #: simulator and execute the run, plus the baseline profile (None for
-#: NoCkpt runs — they *are* the profile).
+#: NoCkpt runs — they *are* the profile) and the execution engine.
 _WorkerTask = Tuple[
-    str, ConfigRequest, MachineConfig, float, Optional[int], Optional[List[float]]
+    str,
+    ConfigRequest,
+    MachineConfig,
+    float,
+    Optional[int],
+    Optional[List[float]],
+    str,
 ]
 
 #: Per-worker-process simulator memo, keyed by the full build recipe.
@@ -106,15 +112,19 @@ def _worker_simulator(
     return sim
 
 
-def _trial_execute(spec: TrialSpec) -> Tuple[TrialSpec, dict, float]:
+def _trial_execute(
+    task: Tuple[TrialSpec, str]
+) -> Tuple[TrialSpec, dict, float]:
     """Pool entry point for fault-injection trials.
 
     A trial is self-contained (the spec names its workload, scale and
-    machine shape), so the task *is* the spec; like :func:`_worker_execute`
-    the result crosses the process boundary serialised.
+    machine shape), so the task is the spec plus the execution engine;
+    like :func:`_worker_execute` the result crosses the process boundary
+    serialised.
     """
+    spec, engine = task
     with _Timer() as timer:
-        result = run_trial(spec)
+        result = run_trial(spec, engine=engine)
     return spec, result.to_dict(), timer.seconds
 
 
@@ -122,7 +132,7 @@ def _worker_execute(task: _WorkerTask) -> Tuple[str, ConfigRequest, dict, float]
     """Pool entry point: run one configuration, return its serialised
     result (dicts, not ``RunResult`` — the checkpoint store never crosses
     the process boundary, and JSON-safe payloads keep pickling cheap)."""
-    workload, request, machine, region_scale, reps, baseline_cores = task
+    workload, request, machine, region_scale, reps, baseline_cores, engine = task
     with _Timer() as timer:
         sim = _worker_simulator(workload, machine, region_scale, reps)
         baseline = (
@@ -130,7 +140,7 @@ def _worker_execute(task: _WorkerTask) -> Tuple[str, ConfigRequest, dict, float]
             if baseline_cores is not None
             else None
         )
-        result = sim.run(make_options(request, baseline))
+        result = sim.run(make_options(request, baseline, engine=engine))
     return workload, request, result.to_dict(), timer.seconds
 
 
@@ -149,6 +159,7 @@ class ExperimentRunner:
         resilience: Optional[ResiliencePolicy] = None,
         journal_path: Optional[Union[str, Path]] = None,
         resume: bool = False,
+        engine: str = "interp",
     ) -> None:
         check_positive("num_cores", num_cores)
         check_positive("region_scale", region_scale)
@@ -156,6 +167,10 @@ class ExperimentRunner:
         self.num_cores = num_cores
         self.region_scale = region_scale
         self.reps = reps
+        # The execution engine is intentionally absent from cache keys:
+        # engines are bit-identical (the equivalence suite pins it), so a
+        # cached result is valid regardless of which engine produced it.
+        self.engine = engine
         self.machine = machine or MachineConfig(num_cores=num_cores)
         if self.machine.num_cores != num_cores:
             raise ValueError("machine config core count mismatch")
@@ -317,7 +332,7 @@ class ExperimentRunner:
 
         def execute() -> None:
             with _Timer() as timer:
-                result = run_trial(spec)
+                result = run_trial(spec, engine=self.engine)
             self._install_trial(spec, result, "sim", timer.seconds)
 
         self._with_key_lock(
@@ -334,7 +349,7 @@ class ExperimentRunner:
             SupervisedTask(
                 key=trial_cache_key(spec),
                 fn=_trial_execute,
-                payload=spec,
+                payload=(spec, self.engine),
                 label=f"{spec.workload}/inject:{spec.config}#{spec.seed}",
             )
             for spec in pending
@@ -433,6 +448,7 @@ class ExperimentRunner:
                     baseline,
                     tracer=tracer,
                     collect_metrics=collect_metrics,
+                    engine=self.engine,
                 )
             )
         self.progress.record(
@@ -523,7 +539,9 @@ class ExperimentRunner:
                     baseline = self.baseline(
                         workload, request.memory_seed
                     ).baseline_profile()
-                result = sim.run(make_options(request, baseline))
+                result = sim.run(
+                    make_options(request, baseline, engine=self.engine)
+                )
             self.progress.record(
                 workload, request.config, "sim", timer.seconds
             )
@@ -727,7 +745,7 @@ class ExperimentRunner:
                     fn=_worker_execute,
                     payload=(
                         wl, req, self.machine, self.region_scale, self.reps,
-                        profile,
+                        profile, self.engine,
                     ),
                     label=f"{wl}/{req.config}",
                 )

@@ -76,6 +76,7 @@ from repro.energy.model import EnergyModel
 from repro.errors.detection import choose_safe_checkpoint
 from repro.errors.model import ErrorModel, ErrorOccurrence
 from repro.isa.interpreter import Interpreter, MemoryImage
+from repro.sim.vector.interp import make_interpreter
 from repro.isa.program import Program
 from repro.obs.events import (
     MACHINE,
@@ -378,6 +379,7 @@ class _MechanismPass:
         programs: Sequence[Program],
         slice_tables: Optional[Sequence[SliceTable]],
         config: MachineConfig,
+        engine: str = "interp",
     ) -> None:
         self.spec = spec
         self.config = config
@@ -393,7 +395,7 @@ class _MechanismPass:
             config, MemorySystem(config), EnergyModel()
         )
         self.interpreters = [
-            Interpreter(p, self.memory, on_store=self._on_store)
+            make_interpreter(engine, p, self.memory, on_store=self._on_store)
             for p in programs
         ]
         self.initial_arch = [it.arch_state() for it in self.interpreters]
@@ -675,6 +677,7 @@ def _diff_memory(
 
 def _build_passes(
     spec: TrialSpec,
+    engine: str = "interp",
 ) -> Tuple["_MechanismPass", "_MechanismPass"]:
     """Build the golden and faulty passes from one compiled workload."""
     workload = get_workload(spec.workload)
@@ -694,8 +697,8 @@ def _build_passes(
         ]
         programs = [c.program for c in compiled]
         slice_tables = [c.slices for c in compiled]
-    golden = _MechanismPass(spec, programs, slice_tables, config)
-    faulty = _MechanismPass(spec, programs, slice_tables, config)
+    golden = _MechanismPass(spec, programs, slice_tables, config, engine)
+    faulty = _MechanismPass(spec, programs, slice_tables, config, engine)
     return golden, faulty
 
 
@@ -703,9 +706,15 @@ def run_trial(
     spec: TrialSpec,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    engine: str = "interp",
 ) -> TrialResult:
-    """Execute one fault-injection trial; see the module doc for shape."""
-    golden, faulty = _build_passes(spec)
+    """Execute one fault-injection trial; see the module doc for shape.
+
+    ``engine`` selects the interpreter flavour for both passes; like the
+    simulator's knob it never reaches the trial cache key — results are
+    bit-identical across engines (pinned by the equivalence suite).
+    """
+    golden, faulty = _build_passes(spec, engine)
     golden.run_to_end()
     total_steps = golden.steps
     if total_steps < 2:

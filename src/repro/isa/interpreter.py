@@ -105,6 +105,14 @@ class MemoryImage:
         """All addresses that were ever written (sorted)."""
         return sorted(self._words)
 
+    def words_map(self) -> Dict[int, int]:
+        """The live written-word dict, for engines inlining read/write.
+
+        Note :meth:`restore` *rebinds* the dict — engines must re-fetch
+        this per execution segment rather than hold it across a rollback.
+        """
+        return self._words
+
     def snapshot(self) -> Dict[int, int]:
         """Copy of the written-word map (tests use this for equivalence)."""
         return dict(self._words)

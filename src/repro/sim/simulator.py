@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.acr.handlers import AcrCheckpointHandler, AssocOutcome
 from repro.arch.config import MachineConfig
@@ -70,6 +71,7 @@ from repro.obs.events import (
 from repro.obs.metrics import MetricsRegistry, ObsReport
 from repro.obs.tracer import Tracer
 from repro.sim.machine import Machine
+from repro.sim.vector.engine import VectorCoreRunner
 from repro.sim.results import (
     BaselineProfile,
     IntervalStats,
@@ -81,6 +83,30 @@ from repro.util.validation import check_positive
 __all__ = ["SimulationOptions", "Simulator"]
 
 _SCHEMES = ("none", "global", "local")
+_ENGINES = ("interp", "vector")
+
+#: Program -> {policy -> CompiledProgram}.  ACR compilation is a pure
+#: function of (program, policy); runs sweeping configurations over the
+#: same programs (and both engines) share one compiled copy — which also
+#: shares the op cache and the vector engine's trace plans.
+_COMPILE_CACHE: "WeakKeyDictionary[Program, dict]" = WeakKeyDictionary()
+
+
+def _compile_cached(program: Program, policy: SelectionPolicy):
+    """``compile_program`` through the per-program cache."""
+    try:
+        hash(policy)
+    except TypeError:
+        return compile_program(program, policy)
+    per_program = _COMPILE_CACHE.get(program)
+    if per_program is None:
+        per_program = {}
+        _COMPILE_CACHE[program] = per_program
+    compiled = per_program.get(policy)
+    if compiled is None:
+        compiled = compile_program(program, policy)
+        per_program[policy] = compiled
+    return compiled
 
 
 @dataclass(frozen=True)
@@ -102,6 +128,11 @@ class SimulationOptions:
     baseline: Optional[BaselineProfile] = None
     memory_seed: int = 0
     chunk_iterations: int = 64
+    #: Execution engine: ``"interp"`` (classic per-instruction loop) or
+    #: ``"vector"`` (plan-replay engine, bit-identical results).  Runs
+    #: with observability attached always use the classic loop — the
+    #: tracer needs per-access events the vector engine never creates.
+    engine: str = "interp"
     #: Custom boundary times on the useful-time axis (ns, ascending, last
     #: one at the baseline's useful end).  ``None`` = uniform placement.
     #: Used by the recomputation-aware placement extension.
@@ -118,6 +149,8 @@ class SimulationOptions:
     def __post_init__(self) -> None:
         if self.scheme not in _SCHEMES:
             raise ValueError(f"scheme must be one of {_SCHEMES}")
+        if self.engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}")
         check_positive("num_checkpoints", self.num_checkpoints)
         check_positive("chunk_iterations", self.chunk_iterations)
         if self.scheme != "none" and self.baseline is None:
@@ -195,7 +228,7 @@ class _Run:
         self.compile_stats: Optional[CompileStats] = None
         if options.acr:
             policy = options.slice_policy or ThresholdPolicy()
-            compiled = [compile_program(p, policy) for p in sim.programs]
+            compiled = [_compile_cached(p, policy) for p in sim.programs]
             self.programs = [c.program for c in compiled]
             tables = [c.slices for c in compiled]
             self.compile_stats = _sum_compile_stats([c.stats for c in compiled])
@@ -266,6 +299,16 @@ class _Run:
             for prog in self.programs
         ]
         self.timing = self.machine.timing
+
+        # Engine dispatch: the vector engine drives each core from trace
+        # plans, falling back to the classic interpreter (observers and
+        # all) segment by segment.  Observed runs stay fully classic.
+        if options.engine == "vector" and not observing:
+            self.engines: Sequence = [
+                VectorCoreRunner(self, core) for core in range(n)
+            ]
+        else:
+            self.engines = self.interpreters
 
     # ------------------------------------------------------------ observers --
     def _core_now(self, core: int) -> float:
@@ -339,7 +382,7 @@ class _Run:
     # ------------------------------------------------------------- execution --
     def _run_core_to(self, core: int, target_useful_ns: float) -> None:
         """Advance ``core`` until its useful clock reaches the target."""
-        interp = self.interpreters[core]
+        interp = self.engines[core]
         chunk_iters = self.options.chunk_iterations
         while self.useful[core] < target_useful_ns and not interp.done:
             chunk = interp.step_iterations(chunk_iters)

@@ -1,0 +1,770 @@
+"""Trace plans: precomputed per-kernel access streams for the vector engine.
+
+A :class:`KernelPlan` captures everything about one kernel's execution
+that does not depend on run state: the flat (iteration-major) address and
+line streams of its memory accesses, the values its stores write, the
+register file at every iteration boundary, and the *external* load
+addresses whose values the plan assumed untouched.  Store values are a
+pure function of the kernel body and the memory image's deterministic
+initialiser **as long as** every external load address is still unwritten
+when the kernel runs — the engine re-checks exactly that before using a
+plan and falls back to the interpreter otherwise, which makes plans safe
+to cache on the :class:`~repro.isa.program.Program` and share across
+runs, configurations and engines.
+
+Address streams and large-trip straight-line bodies are evaluated as
+batched numpy operations (``uint64`` arithmetic wraps mod 2**64, matching
+the ISA's masked semantics); small or irregular bodies go through a
+*shape-keyed generated evaluator*: the body's structure (opcode/register
+sequence, with immediates and access patterns externalised as
+parameters) keys a cache of ``exec``-compiled specialised functions, so
+the thousands of same-shape kernels a workload generator emits share one
+evaluator with inlined ALU expressions and register locals.  The
+generated code handles every case the interpreter does (in-kernel
+aliasing through a store-forwarding overlay, loop-carried accumulators,
+partially-defined registers).  First-touch reductions over the store stream
+(:meth:`KernelPlan.first_store_occurrence`) expose, per store access,
+whether it is the kernel-locally first write to its address — the
+semantics the AddrMap/first-write unit tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+try:  # numpy accelerates large-trip plan evaluation; plans work without it
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy-less installs
+    np = None  # type: ignore[assignment]
+
+from repro.isa.instructions import AluInstr, LoadInstr, MoviInstr
+from repro.isa.opcodes import MASK64, BINARY_SEMANTICS, Opcode
+from repro.isa.program import Kernel, Program
+
+__all__ = ["KernelPlan", "ProgramPlans", "plans_for"]
+
+_INIT_MIX = 0x9E3779B97F4A7C15
+if np is not None:
+    _U64 = np.uint64
+    _MIX_U64 = _U64(_INIT_MIX)
+    _SHIFT29 = _U64(29)
+    _SIX_THREE = _U64(63)
+
+#: Below this trip count the per-array numpy dispatch overhead outweighs
+#: the vector win and the scalar evaluator is used instead.
+NUMPY_MIN_TRIP = 24
+
+#: Reverse map from a binary-semantics function to its opcode (the op
+#: cache stores functions; the numpy evaluator needs the opcode back).
+_FUNC_TO_OPCODE = {fn: op for op, fn in BINARY_SEMANTICS.items()}
+
+
+def _np_alu(op: Opcode, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vectorized equivalent of :func:`repro.isa.opcodes.apply_alu`."""
+    if op is Opcode.ADD:
+        return a + b
+    if op is Opcode.SUB:
+        return a - b
+    if op is Opcode.MUL:
+        return a * b
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.SHL:
+        return a << (b & _SIX_THREE)
+    if op is Opcode.SHR:
+        return a >> (b & _SIX_THREE)
+    raise ValueError(f"not a binary ALU opcode: {op}")  # pragma: no cover
+
+
+def _initial_values(addrs: np.ndarray, seed: int) -> np.ndarray:
+    """Vectorized :meth:`MemoryImage.initial_value` over a uint64 array."""
+    x = addrs * _MIX_U64 + _U64(seed & MASK64)
+    x = x ^ (x >> _SHIFT29)
+    return x * _MIX_U64
+
+
+def ops_for_kernel(program: Program, kernel_index: int) -> Tuple[int, List[tuple]]:
+    """The interpreter's precompiled ``(width, ops)`` for one kernel.
+
+    Fills ``program.op_cache`` with the exact format
+    :meth:`Interpreter._prepare_kernel` uses, so whichever engine touches
+    a kernel first pays the (shared) precompile once.
+    """
+    cached = program.op_cache.get(kernel_index)
+    if cached is not None:
+        return cached
+    kernel = program.kernels[kernel_index]
+    width = 0
+    ops: List[tuple] = []
+    for ins in kernel.body:
+        if isinstance(ins, AluInstr):
+            width = max(width, ins.dst, ins.src_a, ins.src_b)
+            ops.append((1, BINARY_SEMANTICS[ins.op], ins.dst, ins.src_a, ins.src_b))
+        elif isinstance(ins, MoviInstr):
+            width = max(width, ins.dst)
+            ops.append((0, ins.dst, ins.imm & MASK64))
+        elif isinstance(ins, LoadInstr):
+            width = max(width, ins.dst)
+            p = ins.pattern
+            ops.append((2, ins.dst, p.base, p.stride, p.length, p.offset))
+        else:  # StoreInstr
+            width = max(width, ins.src)
+            p = ins.pattern
+            ops.append(
+                (3, ins.src, p.base, p.stride, p.length, p.offset, ins.site, ins.assoc)
+            )
+    program.op_cache[kernel_index] = (width, ops)
+    return width, ops
+
+
+class KernelPlan:
+    """One kernel's precomputed trace segments.
+
+    ``addrs``/``lines`` hold all memory accesses iteration-major (body
+    order within an iteration); ``svalues`` holds the store stream's new
+    values, aligned with the stores of ``tmpl`` in the same order.
+    """
+
+    __slots__ = (
+        "kernel",
+        "tmpl",
+        "accesses_per_iter",
+        "stores_per_iter",
+        "alu_per_iter",
+        "loads_per_iter",
+        "assoc_per_iter",
+        "trip",
+        "width",
+        "addrs",
+        "lines",
+        "svalues",
+        "external_loads",
+        "store_flags",
+        "store_sites",
+        "overlap",
+        "regs_stable",
+        "has_assoc",
+        "_rows",
+        "_cols",
+        "_acc_rows",
+    )
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        #: Per body access: (is_store, site, assoc) — static per position.
+        self.tmpl: Tuple[Tuple[bool, int, bool], ...] = ()
+        self.accesses_per_iter = 0
+        self.stores_per_iter = 0
+        self.alu_per_iter = 0
+        self.loads_per_iter = 0
+        self.assoc_per_iter = 0
+        self.trip = kernel.trip_count
+        self.width = 0
+        self.addrs: List[int] = []
+        self.lines: List[int] = []
+        self.svalues: List[int] = []
+        self.external_loads: FrozenSet[int] = frozenset()
+        #: Per body access: is it a store?  (The replay loop iterates
+        #: this flat tuple instead of indexing ``tmpl``.)
+        self.store_flags: Tuple[bool, ...] = ()
+        #: Per body *store* (in order): its site id.
+        self.store_sites: Tuple[int, ...] = ()
+        #: The kernel both loads and stores some address.  Plan values are
+        #: still exact against untouched memory, but a mid-kernel memory
+        #: mutation (fault injection between segments) could be masked by
+        #: the baked forwarding — such kernels always run interpreted.
+        self.overlap = False
+        self.regs_stable = True
+        self.has_assoc = False
+        self._rows: Optional[List[List[int]]] = None
+        self._cols: Optional[Dict[int, object]] = None
+        self._acc_rows: Optional[Tuple[tuple, ...]] = None
+
+    # -- register rows --------------------------------------------------------
+    def rows(self) -> Sequence[Sequence[int]]:
+        """Register file at the end of each iteration (row sequences).
+
+        Rows may be tuples (generated evaluators) or lists (numpy
+        materialisation); consumers only index or copy them.
+
+        ``rows()[i]`` is also the register file at the *start* of
+        iteration ``i + 1`` — the state a mid-kernel fallback resumes
+        from.  For numpy-evaluated kernels the rows are materialised
+        lazily from the register columns on first use.
+        """
+        if self._rows is None:
+            cols = self._cols
+            assert cols is not None
+            trip = self.trip
+            materialised: List[List[object]] = [
+                [0] * (self.width + 1) for _ in range(trip)
+            ]
+            for reg, col in cols.items():
+                if getattr(col, "ndim", 0):  # numpy column (1-d array)
+                    values = col.tolist()
+                else:  # constant column (int or 0-d numpy scalar)
+                    values = [col] * trip
+                for i in range(trip):
+                    materialised[i][reg] = values[i]
+            self._rows = materialised  # type: ignore[assignment]
+            self._cols = None
+        return self._rows  # type: ignore[return-value]
+
+    def access_rows(self) -> Tuple[tuple, ...]:
+        """Per iteration: the access stream as ``(addr, line, is_store,
+        value)`` 4-tuples (``value`` is ``None`` for loads).
+
+        This is the replay engine's working form — one tuple unpack per
+        access replaces three indexed fetches plus two stream cursors in
+        the hot loop.  Materialised lazily once per plan and shared by
+        every run that replays it.
+        """
+        cached = self._acc_rows
+        if cached is None:
+            addrs = self.addrs
+            lines = self.lines
+            svalues = self.svalues
+            flags = self.store_flags
+            out = []
+            idx = 0
+            s = 0
+            for _ in range(self.trip):
+                row = []
+                for is_store in flags:
+                    if is_store:
+                        row.append((addrs[idx], lines[idx], True, svalues[s]))
+                        s += 1
+                    else:
+                        row.append((addrs[idx], lines[idx], False, None))
+                    idx += 1
+                out.append(tuple(row))
+            cached = self._acc_rows = tuple(out)
+        return cached
+
+    # -- first-touch reductions ----------------------------------------------
+    def first_store_occurrence(self) -> List[bool]:
+        """Per store access (kernel order): first write to its address?
+
+        A first-touch reduction over the store stream: entry ``j`` is
+        True iff store ``j`` is the kernel's first store to that
+        address.  Interval-level first-write accounting composes this
+        with the directory's log bits (an address already handled earlier
+        in the interval is never "first" again until the boundary).
+        """
+        if not self.svalues:
+            return []
+        seen: set = set()
+        out: List[bool] = []
+        api = self.accesses_per_iter
+        for i in range(self.trip):
+            base = i * api
+            for off, (is_store, _, _) in enumerate(self.tmpl):
+                if is_store:
+                    addr = self.addrs[base + off]
+                    out.append(addr not in seen)
+                    seen.add(addr)
+        return out
+
+    def unique_store_addresses(self) -> List[int]:
+        """Sorted unique store addresses (first-write footprint)."""
+        if self.stores_per_iter == 0:
+            return []
+        return sorted(
+            {
+                int(self.addrs[i * self.accesses_per_iter + off])
+                for i in range(self.trip)
+                for off, (is_store, _, _) in enumerate(self.tmpl)
+                if is_store
+            }
+        )
+
+    def unique_lines(self) -> List[int]:
+        """Sorted unique cache lines the kernel touches (loads + stores)."""
+        return sorted({int(line) for line in self.lines})
+
+
+def _kernel_shape(kernel: Kernel):
+    """One pass over the body: codegen shape key, parameters, template.
+
+    The *shape key* captures everything structural about the body — the
+    tagged opcode/register sequence — while immediates and access-pattern
+    constants become positional ``params``.  Two kernels with equal keys
+    evaluate through the same generated function.
+    """
+    width = 0
+    alu = loads = stores = assoc = 0
+    key: List[tuple] = []
+    params: List[int] = []
+    tmpl: List[Tuple[bool, int, bool]] = []
+    seen_store = False
+    stable = True
+    for ins in kernel.body:
+        t = type(ins)
+        if t is AluInstr:
+            d, a, b = ins.dst, ins.src_a, ins.src_b
+            if d > width:
+                width = d
+            if a > width:
+                width = a
+            if b > width:
+                width = b
+            key.append((1, ins.op, d, a, b))
+            alu += 1
+            if seen_store:
+                stable = False
+        elif t is MoviInstr:
+            d = ins.dst
+            if d > width:
+                width = d
+            key.append((0, d))
+            params.append(ins.imm & MASK64)
+            alu += 1
+            if seen_store:
+                stable = False
+        elif t is LoadInstr:
+            d = ins.dst
+            if d > width:
+                width = d
+            p = ins.pattern
+            key.append((2, d))
+            params.extend((p.base, p.stride, p.length, p.offset))
+            tmpl.append((False, -1, False))
+            loads += 1
+            if seen_store:
+                stable = False
+        else:  # StoreInstr
+            s = ins.src
+            if s > width:
+                width = s
+            p = ins.pattern
+            key.append((3, s))
+            params.extend((p.base, p.stride, p.length, p.offset))
+            tmpl.append((True, ins.site, ins.assoc))
+            stores += 1
+            if ins.assoc:
+                assoc += 1
+            seen_store = True
+    return (
+        width,
+        (width, *key),
+        tuple(params),
+        tuple(tmpl),
+        alu,
+        loads,
+        stores,
+        assoc,
+        stable,
+    )
+
+
+_MASK_LIT = "0xFFFFFFFFFFFFFFFF"
+_MIX_LIT = "0x9E3779B97F4A7C15"
+
+#: Opcode -> inlined expression template (matches repro.isa.opcodes).
+_ALU_EXPR = {
+    Opcode.ADD: "(r{a} + r{b}) & " + _MASK_LIT,
+    Opcode.SUB: "(r{a} - r{b}) & " + _MASK_LIT,
+    Opcode.MUL: "(r{a} * r{b}) & " + _MASK_LIT,
+    Opcode.AND: "r{a} & r{b}",
+    Opcode.OR: "r{a} | r{b}",
+    Opcode.XOR: "r{a} ^ r{b}",
+    Opcode.SHL: "(r{a} << (r{b} & 63)) & " + _MASK_LIT,
+    Opcode.SHR: "r{a} >> (r{b} & 63)",
+}
+
+#: Shape key -> compiled evaluator.  Global: parameters are externalised,
+#: so one function serves every same-shape kernel in every program.
+_EVAL_CACHE: Dict[tuple, object] = {}
+
+
+def _generate_evaluator(key: tuple):
+    """``exec``-compile the specialised evaluator for one shape key.
+
+    The function signature is ``f(trip, P, seed) -> (addrs, svalues,
+    rows, external, load_set, overlay)`` with ``None`` for streams the
+    shape cannot produce; rows are tuples (consumers only read/copy
+    them).
+    """
+    width = key[0]
+    body_keys = key[1:]
+    has_load = any(k[0] == 2 for k in body_keys)
+    has_store = any(k[0] == 3 for k in body_keys)
+    forward = has_load and has_store
+    nparams = sum(
+        1 if k[0] == 0 else 4 if k[0] in (2, 3) else 0 for k in body_keys
+    )
+
+    lines: List[str] = ["def _eval(trip, P, seed):"]
+    w = lines.append
+    if nparams:
+        w(f"    ({', '.join(f'p{i}' for i in range(nparams))},) = P")
+    w("    A = []; Aa = A.append")
+    if has_store:
+        w("    S = []; Sa = S.append")
+    w("    R = []; Ra = R.append")
+    if has_load:
+        w("    E = set(); Ea = E.add")
+    if forward:
+        w("    ov = {}; og = ov.get")
+        w("    LA = set(); La = LA.add")
+    w("    " + " = ".join(f"r{r}" for r in range(width + 1)) + " = 0")
+    w("    for i in range(trip):")
+    p = 0
+    for part in body_keys:
+        tag = part[0]
+        if tag == 0:  # MOVI (immediate pre-masked in params)
+            w(f"        r{part[1]} = p{p}")
+            p += 1
+        elif tag == 1:  # ALU
+            _, op, dst, a, b = part
+            w(f"        r{dst} = " + _ALU_EXPR[op].format(a=a, b=b))
+        elif tag == 2:  # LOAD: params are (base, stride, length, offset)
+            dst = part[1]
+            w(f"        a = p{p} + ((p{p + 3} + i * p{p + 1}) % p{p + 2}) * 8")
+            p += 4
+            w("        Aa(a)")
+            if forward:
+                w("        La(a)")
+                w("        v = og(a)")
+                w("        if v is None:")
+                w("            Ea(a)")
+                w(f"            x = (a * {_MIX_LIT} + seed) & {_MASK_LIT}")
+                w("            x ^= x >> 29")
+                w(f"            v = (x * {_MIX_LIT}) & {_MASK_LIT}")
+                w(f"        r{dst} = v")
+            else:  # no stores in the body: every load reads the initialiser
+                w("        Ea(a)")
+                w(f"        x = (a * {_MIX_LIT} + seed) & {_MASK_LIT}")
+                w("        x ^= x >> 29")
+                w(f"        r{dst} = (x * {_MIX_LIT}) & {_MASK_LIT}")
+        else:  # STORE
+            src = part[1]
+            w(f"        a = p{p} + ((p{p + 3} + i * p{p + 1}) % p{p + 2}) * 8")
+            p += 4
+            w("        Aa(a)")
+            w(f"        Sa(r{src})")
+            if forward:
+                w(f"        ov[a] = r{src}")
+    row = ", ".join(f"r{r}" for r in range(width + 1))
+    if width == 0:
+        row += ","
+    w(f"        Ra(({row}))")
+    w(
+        "    return A, {}, R, {}, {}, {}".format(
+            "S" if has_store else "None",
+            "E" if has_load else "None",
+            "LA" if forward else "None",
+            "ov" if forward else "None",
+        )
+    )
+    namespace: Dict[str, object] = {}
+    exec("\n".join(lines), namespace)  # noqa: S102 - trusted generated code
+    return namespace["_eval"]
+
+
+def _run_codegen(
+    plan: KernelPlan,
+    key: tuple,
+    params: tuple,
+    trip: int,
+    seed: int,
+    line_bytes: int,
+) -> None:
+    """Evaluate the kernel through its shape's generated function."""
+    fn = _EVAL_CACHE.get(key)
+    if fn is None:
+        fn = _generate_evaluator(key)
+        _EVAL_CACHE[key] = fn
+    addrs, svalues, rows, external, load_set, overlay = fn(
+        trip, params, seed & MASK64
+    )
+    plan.addrs = addrs
+    plan.lines = [a // line_bytes for a in addrs]
+    plan.svalues = svalues if svalues is not None else []
+    if external:
+        plan.external_loads = frozenset(external)
+    plan.overlap = bool(load_set) and not load_set.isdisjoint(overlay)
+    plan._rows = rows
+
+
+def _build_plan(
+    kernel: Kernel,
+    seed: int,
+    line_bytes: int,
+    program: Optional[Program] = None,
+    kernel_index: int = 0,
+) -> KernelPlan:
+    """Evaluate one kernel into a :class:`KernelPlan`.
+
+    Large trips go through the batched numpy evaluator (address/value
+    columns); everything else — small trips and numpy-ineligible bodies —
+    through the generated scalar evaluator.  ``program`` enables the
+    numpy path's op-cache reuse and may be omitted in tests.
+    """
+    plan = KernelPlan(kernel)
+    (
+        width,
+        key,
+        params,
+        tmpl,
+        alu,
+        loads,
+        stores,
+        assoc,
+        stable,
+    ) = _kernel_shape(kernel)
+    plan.width = width
+    plan.tmpl = tmpl
+    plan.accesses_per_iter = loads + stores
+    plan.stores_per_iter = stores
+    plan.loads_per_iter = loads
+    plan.alu_per_iter = alu
+    plan.assoc_per_iter = assoc
+    plan.has_assoc = assoc > 0
+    plan.store_flags = tuple(t[0] for t in tmpl)
+    plan.store_sites = tuple(t[1] for t in tmpl if t[0])
+    # Register stability: a handler observing a store's register file via
+    # the end-of-iteration rows needs no register definition after the
+    # first store of the body.
+    plan.regs_stable = stable
+
+    trip = kernel.trip_count
+    if np is not None and trip >= NUMPY_MIN_TRIP and program is not None:
+        _, ops = ops_for_kernel(program, kernel_index)
+        if _try_build_numpy(plan, ops, trip, seed, line_bytes):
+            return plan
+    _run_codegen(plan, key, params, trip, seed, line_bytes)
+    return plan
+
+
+def _address_column(op: tuple, trip: int) -> np.ndarray:
+    """The access-pattern address stream of one load/store op."""
+    base, stride, length, offset = op[2], op[3], op[4], op[5]
+    idx = (offset + stride * np.arange(trip, dtype=np.int64)) % length
+    return base + idx * 8
+
+
+def _try_build_numpy(
+    plan: KernelPlan, ops: Sequence[tuple], trip: int, seed: int, line_bytes: int
+) -> bool:
+    """Batched evaluation for large straight-line bodies.
+
+    Returns False (leaving the plan untouched) when the body needs the
+    scalar evaluator: in-kernel load/store aliasing (store-to-load
+    forwarding), or loop-carried register reads other than the canonical
+    self-accumulation (``acc += value`` into an otherwise-undefined
+    register, which vectorizes as a prefix sum).
+    """
+    # Pass 1: addresses, and the alias pre-check.
+    addr_cols: List[np.ndarray] = []
+    load_addr_arrays: List[np.ndarray] = []
+    store_addr_arrays: List[np.ndarray] = []
+    for op in ops:
+        tag = op[0]
+        if tag == 2 or tag == 3:
+            col = _address_column(op, trip)
+            addr_cols.append(col)
+            (load_addr_arrays if tag == 2 else store_addr_arrays).append(col)
+    if store_addr_arrays and load_addr_arrays:
+        store_u = np.unique(np.concatenate(store_addr_arrays))
+        load_u = np.unique(np.concatenate(load_addr_arrays))
+        if np.intersect1d(store_u, load_u, assume_unique=True).size:
+            return False
+
+    defined_anywhere = set()
+    for op in ops:
+        tag = op[0]
+        if tag == 0 or tag == 2:
+            defined_anywhere.add(op[1])
+        elif tag == 1:
+            defined_anywhere.add(op[2])
+
+    # Pass 2: register columns.
+    cols: Dict[int, object] = {}
+    defined: set = set()
+    svalue_cols: List[np.ndarray] = []
+    acc_idx = 0
+
+    def col_of(reg: int) -> Optional[object]:
+        if reg in defined:
+            return cols[reg]
+        if reg in defined_anywhere:
+            return None  # loop-carried: previous-iteration value
+        return _U64(0)  # never defined: architectural zero
+
+    for op in ops:
+        tag = op[0]
+        if tag == 0:  # MOVI
+            cols[op[1]] = _U64(op[2])
+            defined.add(op[1])
+        elif tag == 2:  # LOAD (alias-free: values are the initialiser's)
+            cols[op[1]] = _initial_values(
+                addr_cols[acc_idx].astype(np.uint64), seed
+            )
+            defined.add(op[1])
+            acc_idx += 1
+        elif tag == 3:  # STORE
+            src = col_of(op[1])
+            if src is None:
+                return False
+            if not isinstance(src, np.ndarray):
+                src = np.full(trip, src, dtype=np.uint64)
+            svalue_cols.append(src)
+            acc_idx += 1
+        else:  # ALU
+            fn, dst, a, b = op[1], op[2], op[3], op[4]
+            opcode = _FUNC_TO_OPCODE.get(fn)
+            if opcode is None:
+                return False
+            ca = col_of(a)
+            cb = col_of(b)
+            if ca is None:
+                # The canonical accumulator: dst += src_b with dst
+                # loop-carried and starting at zero -> prefix sum.
+                if opcode is Opcode.ADD and a == dst and cb is not None:
+                    operand = (
+                        cb
+                        if isinstance(cb, np.ndarray)
+                        else np.full(trip, cb, dtype=np.uint64)
+                    )
+                    cols[dst] = np.cumsum(operand, dtype=np.uint64)
+                    defined.add(dst)
+                    continue
+                return False
+            if cb is None:
+                return False
+            if not isinstance(ca, np.ndarray) and not isinstance(cb, np.ndarray):
+                cols[dst] = _np_alu(
+                    opcode, np.asarray(ca, dtype=np.uint64), np.asarray(cb, np.uint64)
+                )[()]
+            else:
+                cols[dst] = _np_alu(opcode, ca, cb)
+            defined.add(dst)
+
+    api = plan.accesses_per_iter
+    flat = np.empty((trip, api), dtype=np.int64)
+    for j, col in enumerate(addr_cols):
+        flat[:, j] = col
+    addrs = flat.ravel()
+    plan.addrs = addrs.tolist()
+    plan.lines = (addrs // line_bytes).tolist()
+    if svalue_cols:
+        sflat = np.empty((trip, len(svalue_cols)), dtype=np.uint64)
+        for j, col in enumerate(svalue_cols):
+            sflat[:, j] = col
+        plan.svalues = sflat.ravel().tolist()
+    if load_addr_arrays:
+        plan.external_loads = frozenset(
+            np.unique(np.concatenate(load_addr_arrays)).tolist()
+        )
+    plan._cols = cols
+    return True
+
+
+def _build_scalar(
+    plan: KernelPlan,
+    ops: Sequence[tuple],
+    width: int,
+    trip: int,
+    seed: int,
+    line_bytes: int,
+) -> None:
+    """Reference evaluation: one scalar pass, no observers, no events.
+
+    Handles every body shape — in-kernel store-to-load forwarding through
+    an overlay, loop-carried registers (the file persists across
+    iterations, as in the interpreter), partially-defined registers.
+
+    Not on the production path (the generated evaluators are); kept as
+    the oracle the codegen unit tests pin shapes against.
+    """
+    regs = [0] * (width + 1)
+    rows: List[List[int]] = []
+    addrs: List[int] = []
+    svalues: List[int] = []
+    overlay: Dict[int, int] = {}
+    external: set = set()
+    load_addrs: set = set()
+    seed64 = seed & MASK64
+    for i in range(trip):
+        for op in ops:
+            tag = op[0]
+            if tag == 1:
+                regs[op[2]] = op[1](regs[op[3]], regs[op[4]])
+            elif tag == 2:
+                addr = op[2] + ((op[5] + i * op[3]) % op[4]) * 8
+                addrs.append(addr)
+                load_addrs.add(addr)
+                value = overlay.get(addr)
+                if value is None:
+                    external.add(addr)
+                    x = (addr * _INIT_MIX + seed64) & MASK64
+                    x ^= x >> 29
+                    value = (x * _INIT_MIX) & MASK64
+                regs[op[1]] = value
+            elif tag == 3:
+                addr = op[2] + ((op[5] + i * op[3]) % op[4]) * 8
+                addrs.append(addr)
+                value = regs[op[1]]
+                svalues.append(value)
+                overlay[addr] = value
+            else:
+                regs[op[1]] = op[2]
+        rows.append(regs.copy())
+    plan.addrs = addrs
+    plan.lines = [a // line_bytes for a in addrs]
+    plan.svalues = svalues
+    plan.external_loads = frozenset(external)
+    plan.overlap = not load_addrs.isdisjoint(overlay)
+    plan._rows = rows
+
+
+class ProgramPlans:
+    """Lazy per-kernel plans of one program (one memory seed)."""
+
+    def __init__(self, program: Program, seed: int, line_bytes: int) -> None:
+        self.program = program
+        self.seed = seed
+        self.line_bytes = line_bytes
+        self._plans: Dict[int, KernelPlan] = {}
+
+    def plan(self, kernel_index: int) -> KernelPlan:
+        """The plan for one kernel (built on first use, then cached)."""
+        plan = self._plans.get(kernel_index)
+        if plan is None:
+            plan = _build_plan(
+                self.program.kernels[kernel_index],
+                self.seed,
+                self.line_bytes,
+                program=self.program,
+                kernel_index=kernel_index,
+            )
+            self._plans[kernel_index] = plan
+        return plan
+
+
+#: Program -> {(seed, line_bytes) -> ProgramPlans}.  Weak keys: plans die
+#: with the program; strong values are fine (plans only reference their
+#: own program's kernels).
+_PLAN_CACHE: "WeakKeyDictionary[Program, Dict[Tuple[int, int], ProgramPlans]]" = (
+    WeakKeyDictionary()
+)
+
+
+def plans_for(program: Program, seed: int, line_bytes: int) -> ProgramPlans:
+    """The (shared, cached) plans of ``program`` for one memory seed."""
+    per_program = _PLAN_CACHE.get(program)
+    if per_program is None:
+        per_program = {}
+        _PLAN_CACHE[program] = per_program
+    key = (seed, line_bytes)
+    plans = per_program.get(key)
+    if plans is None:
+        plans = ProgramPlans(program, seed, line_bytes)
+        per_program[key] = plans
+    return plans

@@ -1,0 +1,193 @@
+"""Plan evaluator oracle: codegen and numpy paths vs the scalar reference.
+
+``plans._build_scalar`` is the deliberately-simple oracle kept off the
+production path; the shape-keyed generated evaluators and the batched
+numpy evaluator must reproduce its every output stream — addresses,
+lines, store values, register rows, external-load sets and the overlap
+bit — for any body shape.  Divergence here would surface as an engine
+mismatch far downstream, so it is pinned at the source.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.isa.instructions import LINE_BYTES, AddressPattern
+from repro.isa.program import Program
+from repro.sim.vector.plans import (
+    NUMPY_MIN_TRIP,
+    KernelPlan,
+    _build_plan,
+    _build_scalar,
+    _kernel_shape,
+    ops_for_kernel,
+)
+from tests.sim.test_engine_equivalence import _random_kernel
+
+SEED = 0
+
+
+def _scalar_reference(kernel):
+    """Evaluate ``kernel`` through the oracle into a fresh plan."""
+    plan = KernelPlan(kernel)
+    width = _kernel_shape(kernel)[0]
+    plan.width = width
+    # ops_for_kernel needs a program; a single-kernel wrapper does (the
+    # program rewrite only renumbers store sites, never addresses).
+    _, ops = ops_for_kernel(Program([kernel], 0), 0)
+    _build_scalar(plan, ops, width, kernel.trip_count, SEED, LINE_BYTES)
+    return plan
+
+
+def _ints(values):
+    return [int(v) for v in values]
+
+
+def _assert_streams_match(plan, oracle, tag):
+    assert _ints(plan.addrs) == _ints(oracle.addrs), tag
+    assert _ints(plan.lines) == _ints(oracle.lines), tag
+    assert _ints(plan.svalues) == _ints(oracle.svalues), tag
+    assert set(map(int, plan.external_loads)) == set(
+        map(int, oracle.external_loads)
+    ), tag
+    assert plan.overlap == oracle.overlap, tag
+    assert [_ints(r) for r in plan.rows()] == [_ints(r) for r in oracle.rows()], tag
+
+
+class TestCodegenMatchesScalarOracle:
+    @pytest.mark.parametrize("batch", range(5))
+    def test_random_kernels(self, batch):
+        rng = random.Random(1000 + batch)
+        for k in range(40):
+            kernel = _random_kernel(rng, f"o{batch}.{k}", 1 << 24)
+            plan = _build_plan(kernel, SEED, LINE_BYTES)
+            _assert_streams_match(
+                plan, _scalar_reference(kernel), f"batch={batch} k={k}"
+            )
+
+    def test_numpy_path_matches_scalar_oracle(self):
+        """Kernels at/above the numpy threshold, built *with* a program
+        (the numpy-eligibility condition), against the oracle."""
+        rng = random.Random(77)
+        checked = 0
+        for k in range(60):
+            kernel = _random_kernel(rng, f"np.{k}", 1 << 24)
+            if kernel.trip_count < NUMPY_MIN_TRIP:
+                continue
+            program = Program([kernel], 0)
+            plan = _build_plan(
+                program.kernels[0], SEED, LINE_BYTES, program=program, kernel_index=0
+            )
+            _assert_streams_match(
+                plan, _scalar_reference(program.kernels[0]), f"k={k}"
+            )
+            checked += 1
+        assert checked >= 10  # the trip pool guarantees eligible kernels
+
+    def test_seed_sensitivity(self):
+        """External loads (hence store values) depend on the memory seed;
+        both evaluators must agree for any seed."""
+        rng = random.Random(5)
+        kernel = _random_kernel(rng, "seeded", 1 << 24)
+        for seed in (0, 1, 0xDEADBEEF):
+            plan = _build_plan(kernel, seed, LINE_BYTES)
+            oracle = KernelPlan(kernel)
+            width = _kernel_shape(kernel)[0]
+            oracle.width = width
+            _, ops = ops_for_kernel(Program([kernel], 0), 0)
+            _build_scalar(oracle, ops, width, kernel.trip_count, seed, LINE_BYTES)
+            _assert_streams_match(plan, oracle, f"seed={seed}")
+
+
+class TestAccessRows:
+    """The replay engine's working form must mirror the flat streams."""
+
+    def test_access_rows_consistent_with_streams(self):
+        rng = random.Random(9)
+        for k in range(20):
+            kernel = _random_kernel(rng, f"ar.{k}", 1 << 24)
+            plan = _build_plan(kernel, SEED, LINE_BYTES)
+            acc = plan.access_rows()
+            assert len(acc) == plan.trip
+            flat = [t for row in acc for t in row]
+            assert [a for a, _, _, _ in flat] == _ints(plan.addrs)
+            assert [l for _, l, _, _ in flat] == _ints(plan.lines)
+            assert [s for _, _, s, _ in flat] == list(plan.store_flags) * plan.trip
+            assert [v for _, _, s, v in flat if s] == _ints(plan.svalues)
+            assert all(v is None for _, _, s, v in flat if not s)
+
+    def test_access_rows_cached(self):
+        kernel = _random_kernel(random.Random(3), "cache", 1 << 24)
+        plan = _build_plan(kernel, SEED, LINE_BYTES)
+        assert plan.access_rows() is plan.access_rows()
+
+
+def test_plans_work_without_numpy():
+    """numpy is an optional accelerator: with it blocked, plans must
+    still build (through the generated scalar evaluators) and the
+    engines must still agree."""
+    import subprocess
+    import sys
+    import textwrap
+    from pathlib import Path
+
+    script = textwrap.dedent(
+        """
+        import sys
+
+        class Blocker:
+            def find_module(self, name, path=None):
+                if name == "numpy":
+                    return self
+            def load_module(self, name):
+                raise ImportError("numpy blocked")
+
+        sys.meta_path.insert(0, Blocker())
+        from repro.sim.vector import plans
+        assert plans.np is None
+        from repro.isa.builder import chain_kernel
+        from repro.isa.instructions import AddressPattern
+        from repro.isa.program import Program
+        program = Program([chain_kernel(
+            "k", AddressPattern(0, 1, 32),
+            [AddressPattern(1 << 20, 1, 32)], 3, 32)], 0)
+        plan = plans.plans_for(program, 0, 64).plan(0)
+        assert len(plan.addrs) == 64 and len(plan.svalues) == 32
+        assert plan.first_store_occurrence().count(True) == 32
+        """
+    )
+    src = Path(__file__).resolve().parents[2] / "src"
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        env={"PYTHONPATH": str(src)},
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+class TestOverlapDetection:
+    def test_disjoint_regions_no_overlap(self):
+        from repro.isa.builder import chain_kernel
+
+        kernel = chain_kernel(
+            "disjoint",
+            AddressPattern(0, 1, 8),
+            [AddressPattern(1 << 20, 1, 8)],
+            chain_depth=2,
+            trip_count=8,
+        )
+        assert not _build_plan(kernel, SEED, LINE_BYTES).overlap
+
+    def test_store_then_load_same_word_overlaps(self):
+        from repro.isa.builder import chain_kernel
+
+        region = AddressPattern(0, 1, 8)
+        kernel = chain_kernel(
+            "alias", region, [region], chain_depth=2, trip_count=8
+        )
+        plan = _build_plan(kernel, SEED, LINE_BYTES)
+        assert plan.overlap
