@@ -80,6 +80,7 @@ def bench_snapshot(
     scale: float | None = None,
     cores: int | None = None,
     reps: int | None = None,
+    vector_coverage: dict | None = None,
 ) -> dict:
     """One engine's entry of a ``BENCH_<name>.json`` snapshot.
 
@@ -90,6 +91,11 @@ def bench_snapshot(
     engine on the same host, or tolerance bands), never absolute.
     ``scale``/``cores``/``reps`` default to the session's environment
     knobs; pass them explicitly when the producer used its own protocol.
+
+    ``vector_coverage`` (vector-engine entries only) records the
+    replayed/fallback iteration counters — with fallbacks keyed by
+    certificate-denial reason — so snapshot diffs show coverage
+    trajectory alongside wall time.  Additive: schema stays v1.
     """
     doc = {
         "schema": 1,
@@ -102,6 +108,8 @@ def bench_snapshot(
         "wall_s": round(wall_s, 6),  # µs resolution: micro benches are sub-ms
         "results_sha256": checksum,
     }
+    if vector_coverage is not None:
+        doc["vector_coverage"] = vector_coverage
     if extra:
         doc.update(extra)
     return doc

@@ -131,6 +131,13 @@ class TestCommittedSnapshots:
             == by_engine["vector"]["results_sha256"]
         )
         assert by_engine["vector"]["wall_s"] < by_engine["interp"]["wall_s"]
+        # Coverage trajectory: the vector entry records its replayed /
+        # fallback counters, and every fallback names a certificate rule.
+        coverage = by_engine["vector"]["vector_coverage"]
+        assert coverage["replayed_iterations"] > 0
+        for key in coverage:
+            if key.startswith("fallback."):
+                assert key.removeprefix("fallback.").startswith("ACR"), key
 
     def test_fig06_records_healthy_speedup(self):
         entries = load_snapshot("fig06_time_overhead")

@@ -67,6 +67,7 @@ def snapshot_fig06(quick: bool = False):
     reps = 4 if quick else REPS
     walls = {"interp": {}, "vector": {}}
     digests = {"interp": {}, "vector": {}}
+    coverage: dict = {}
 
     for wl in sorted(NAS_BENCHMARKS):
         spec = get_workload(wl)
@@ -77,7 +78,7 @@ def snapshot_fig06(quick: bool = False):
             for name in CONFIGS
         ]
 
-        def run_all(engine):
+        def run_all(engine, collect_coverage=False):
             results = {}
             baseline = None
             for request in requests:
@@ -85,9 +86,17 @@ def snapshot_fig06(quick: bool = False):
                 if request.is_baseline:
                     baseline = res.baseline_profile()
                 results[request.config] = res.to_dict()
+                # Coverage is diagnostic (outside to_dict, so outside the
+                # digest); observed baseline runs report none.  Collected
+                # on the warm pass only — the timed repeats would just
+                # multiply identical counts.
+                if collect_coverage and res.vector_coverage is not None:
+                    for key, count in res.vector_coverage.items():
+                        coverage[key] = coverage.get(key, 0) + count
             return results
 
-        run_all("vector")  # warm plans + compile caches for both series
+        # Warm plans + compile caches for both series.
+        run_all("vector", collect_coverage=True)
         mins = {"interp": float("inf"), "vector": float("inf")}
         for _ in range(PAIRS):
             for engine in ("interp", "vector"):
@@ -127,6 +136,7 @@ def snapshot_fig06(quick: bool = False):
                 scale=scale,
                 cores=cores,
                 reps=reps,
+                vector_coverage=coverage if engine == "vector" else None,
             )
         )
     return entries
@@ -147,9 +157,16 @@ def snapshot_micro(quick: bool = False):
         ]
     )
 
+    coverage: dict = {}
+
     def run(engine):
         it = make_interpreter(engine, program, MemoryImage(0))
         it.run_to_completion()
+        if engine == "vector" and not coverage:
+            coverage["replayed_iterations"] = it.replayed_iterations
+            coverage["fallback_iterations"] = it.fallback_iterations
+            for reason, count in sorted(it.fallback_reasons.items()):
+                coverage[f"fallback.{reason}"] = count
         return it.memory.snapshot()
 
     finals = {e: run(e) for e in ("interp", "vector")}  # warm + checksum
@@ -180,6 +197,7 @@ def snapshot_micro(quick: bool = False):
             bench_snapshot(
                 "micro", engine, mins[engine], digest,
                 extra=extra, scale=1.0, cores=1, reps=trip,
+                vector_coverage=coverage if engine == "vector" else None,
             )
         )
     return entries

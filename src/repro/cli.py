@@ -11,6 +11,10 @@ Installed as ``acr-repro`` (or run with ``python -m repro.cli``):
 * ``acr-repro lint bt``           — slice soundness verification: static
   rules ``ACR001``–``ACR007`` plus the differential recompute oracle,
   with ``--select``/``--ignore`` filters and ``--format json``;
+* ``acr-repro analyze bt``        — static vector-safety certification
+  (``ACR009``–``ACR012``): per-segment certificates for the vector
+  engine, with ``--explain-fallbacks`` attributing every runtime
+  fallback to the rule that denied its certificate;
 * ``acr-repro baselines bt``      — full-snapshot and hierarchical
   what-if cost models over the checkpointed run.
 * ``acr-repro trace bt``          — run one configuration with the event
@@ -29,7 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.baselines import (
     HierarchicalConfig,
@@ -52,6 +56,8 @@ from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.obs.tracer import RecordingTracer
 from repro.resilience.policy import ResiliencePolicy
 from repro.util.tables import format_table
+from repro.verify.absint.certify import certify_run
+from repro.verify.diagnostics import Severity
 from repro.verify.engine import select_rules, verify_program
 from repro.verify.oracle import ORACLE_RULE_ID, ORACLE_RULE_SLUG
 from repro.verify.rules import RULES
@@ -335,6 +341,157 @@ def cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+_CERT_RULES = ("ACR009", "ACR010", "ACR011", "ACR012")
+
+
+def _vector_runtime_coverage(programs, cores: int) -> Dict[str, int]:
+    """Run the vector engine over ``programs`` and fold its coverage.
+
+    One baseline (NoCkpt) and one checkpointed ACR run (ReCkpt_E shape)
+    exercise both the plain and the compiled store paths; their
+    iteration counters are summed.
+    """
+    from repro.arch.config import MachineConfig
+    from repro.sim.simulator import SimulationOptions, Simulator
+
+    sim = Simulator(programs, MachineConfig(num_cores=cores))
+    base = sim.run(
+        SimulationOptions(label="NoCkpt", scheme="none", engine="vector")
+    )
+    ckpt = sim.run(
+        SimulationOptions(
+            label="ReCkpt_E", scheme="global", acr=True,
+            baseline=base.baseline_profile(), engine="vector",
+        )
+    )
+    coverage: Dict[str, int] = {}
+    for res in (base, ckpt):
+        for key, n in (res.vector_coverage or {}).items():
+            coverage[key] = coverage.get(key, 0) + n
+    return coverage
+
+
+def _analyze_one(benchmark: str, args) -> Dict[str, Any]:
+    """Certify one workload's segments; returns a JSON-able document."""
+    spec = get_workload(benchmark)
+    programs = spec.build_programs(
+        args.cores, region_scale=args.scale, reps=args.reps
+    )
+    certificates = [c for per in certify_run(programs) for c in per]
+    by_rule: Dict[str, int] = {}
+    for cert in certificates:
+        for denial in cert.denials:
+            by_rule[denial.rule_id] = by_rule.get(denial.rule_id, 0) + 1
+    doc: Dict[str, Any] = {
+        "benchmark": benchmark,
+        "cores": args.cores,
+        "segments": len(certificates),
+        "safe": sum(1 for c in certificates if c.safe),
+        "denied": sum(1 for c in certificates if not c.safe),
+        "denials_by_rule": by_rule,
+        "denials": [
+            {
+                "core": c.core,
+                "kernel_index": c.kernel_index,
+                "kernel": c.kernel,
+                "rule": d.rule_id,
+                "span": list(d.span),
+                "message": d.message,
+            }
+            for c in certificates
+            for d in c.denials
+        ],
+    }
+    if args.explain_fallbacks:
+        doc["coverage"] = _vector_runtime_coverage(programs, args.cores)
+    return doc
+
+
+def cmd_analyze(args) -> int:
+    benchmarks = (
+        all_workload_names() if args.all
+        else [args.benchmark] if args.benchmark
+        else None
+    )
+    if benchmarks is None:
+        print("acr-repro: error: analyze needs a benchmark or --all",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    docs = []
+    for benchmark in benchmarks:
+        doc = _analyze_one(benchmark, args)
+        # A runtime fallback whose reason is not a registry rule means a
+        # segment degraded without a certificate denial explaining it —
+        # a certifier soundness gap, and a hard failure.
+        unknown = sorted(
+            key[len("fallback."):]
+            for key, n in doc.get("coverage", {}).items()
+            if key.startswith("fallback.")
+            and n
+            and key[len("fallback."):] not in RULES
+        )
+        if unknown:
+            doc["unexplained_fallbacks"] = unknown
+            failed = True
+        if any(
+            RULES[d["rule"]].severity is Severity.ERROR
+            for d in doc["denials"]
+            if d["rule"] in RULES
+        ):
+            failed = True
+        docs.append(doc)
+
+    if args.format == "json":
+        print(json.dumps(docs if args.all else docs[0], indent=2))
+        return 1 if failed else 0
+
+    rows = []
+    for doc in docs:
+        row = [
+            doc["benchmark"], doc["segments"], doc["safe"], doc["denied"],
+        ] + [doc["denials_by_rule"].get(r, 0) for r in _CERT_RULES]
+        if args.explain_fallbacks:
+            cov = doc["coverage"]
+            total = (
+                cov.get("replayed_iterations", 0)
+                + cov.get("fallback_iterations", 0)
+            )
+            row.append(
+                f"{100.0 * cov.get('replayed_iterations', 0) / total:.1f}%"
+                if total else "n/a"
+            )
+        rows.append(row)
+    headers = ["benchmark", "segments", "safe", "denied", *_CERT_RULES]
+    if args.explain_fallbacks:
+        headers.append("replayed")
+    print(format_table(headers, rows, title="vector-safety certificates"))
+
+    if args.explain_fallbacks:
+        for doc in docs:
+            name = doc["benchmark"]
+            for d in doc["denials"]:
+                print(
+                    f"{name}: core {d['core']} kernel {d['kernel_index']} "
+                    f"({d['kernel']}): {d['rule']} "
+                    f"instr {d['span'][0]}..{d['span'][1]} — {d['message']}"
+                )
+            for key in sorted(doc["coverage"]):
+                if key.startswith("fallback.") and doc["coverage"][key]:
+                    print(
+                        f"{name}: runtime fallback "
+                        f"{key[len('fallback.'):]}: "
+                        f"{doc['coverage'][key]} iterations"
+                    )
+            if "unexplained_fallbacks" in doc:
+                print(
+                    f"{name}: UNEXPLAINED fallback reasons: "
+                    f"{', '.join(doc['unexplained_fallbacks'])}"
+                )
+    return 1 if failed else 0
+
+
 def cmd_trace(args) -> int:
     runner = _runner(args)
     tracer = RecordingTracer(capacity=args.limit)
@@ -503,6 +660,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload region scale (1.0 = full fidelity)")
     p.add_argument("--reps", type=int, default=None)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static vector-safety certification (ACR009-ACR012): prove "
+             "trace segments safe to replay and attribute every runtime "
+             "fallback (exit 1 on error findings or unexplained fallbacks)",
+    )
+    p.add_argument("benchmark", nargs="?", choices=all_workload_names(),
+                   help="benchmark to certify (or use --all)")
+    p.add_argument("--all", action="store_true",
+                   help="certify every registered workload")
+    p.add_argument("--cores", type=_positive_int, default=8,
+                   help="cores (programs) per run")
+    p.add_argument("--scale", type=float, default=0.5,
+                   help="workload region scale (1.0 = full fidelity)")
+    p.add_argument("--reps", type=int, default=None)
+    p.add_argument("--format", choices=["table", "json"], default="table")
+    p.add_argument("--explain-fallbacks", action="store_true",
+                   help="list each denied segment, run the vector engine "
+                        "and attribute every runtime fallback to a rule")
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
         "trace",

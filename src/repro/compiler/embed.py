@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from repro.compiler.ddg import DataDependenceGraph
 from repro.compiler.policy import SelectionPolicy, ThresholdPolicy
@@ -55,11 +55,32 @@ class CompiledProgram:
 
     ``program`` is a rewritten copy: covered stores have ``assoc=True``;
     site ids are preserved (the rewrite keeps store order unchanged).
+
+    ``peers`` names the other cores' programs of the run this program
+    belongs to (empty for single-core compilation).  They feed the
+    cross-core half of the vector-safety certificates and the ACR010
+    lint rule; the compile pass itself never reads them.
     """
 
     program: Program
     slices: SliceTable
     stats: CompileStats
+    peers: Tuple[Program, ...] = ()
+
+    @property
+    def certificates(self) -> "Tuple[object, ...]":
+        """Vector-safety certificates for this program's segments.
+
+        Computed lazily from the rewritten program (the ``assoc`` flag
+        does not affect addresses or dataflow) against ``peers`` as the
+        other cores; per-program summaries are cached, so repeated
+        access is cheap.
+        """
+        # Imported here: repro.verify sits above the compiler layer.
+        from repro.verify.absint.certify import certify_run
+
+        run = certify_run([self.program, *self.peers])
+        return run[0]
 
 
 def compile_program(

@@ -68,6 +68,11 @@ class ProgressTracker:
     worker_deaths: int = 0
     degraded_to_serial: int = 0
     resumed: int = 0
+    # Vector-engine coverage (iterations, summed over inline sims that
+    # reported it): how much of the executed work replayed from plans
+    # versus falling back to the classic loop.
+    vector_replayed: int = 0
+    vector_fallback: int = 0
 
     # ------------------------------------------------------------------ events --
     def record(self, workload: str, config: str, source: str,
@@ -122,6 +127,11 @@ class ProgressTracker:
         """Count tasks skipped because the completion journal already
         holds them (``--resume``)."""
         self.resumed += n
+
+    def record_vector_coverage(self, replayed: int, fallback: int) -> None:
+        """Accumulate one vector-engine run's coverage counters."""
+        self.vector_replayed += replayed
+        self.vector_fallback += fallback
 
     # ----------------------------------------------------------------- queries --
     @property
@@ -199,8 +209,19 @@ class ProgressTracker:
             )
         if self.events_captured or self.events_dropped:
             table += "\n" + self.tracing_line()
+        if self.vector_replayed or self.vector_fallback:
+            table += "\n" + self.vector_line()
         table += "\n" + self.resilience_line()
         return table
+
+    def vector_line(self) -> str:
+        """One-line vector-engine coverage summary (inline sims only)."""
+        total = self.vector_replayed + self.vector_fallback
+        pct = 100.0 * self.vector_replayed / total if total else 0.0
+        return (
+            f"vector: {self.vector_replayed}/{total} iterations replayed "
+            f"({pct:.1f}% coverage, {self.vector_fallback} fallback)"
+        )
 
     def resilience_line(self) -> str:
         """One-line supervised-execution summary (zeros on clean runs)."""
@@ -224,6 +245,8 @@ class ProgressTracker:
         self.worker_deaths = 0
         self.degraded_to_serial = 0
         self.resumed = 0
+        self.vector_replayed = 0
+        self.vector_fallback = 0
 
 
 class _Timer:

@@ -545,6 +545,11 @@ class ExperimentRunner:
             self.progress.record(
                 workload, request.config, "sim", timer.seconds
             )
+            if result.vector_coverage is not None:
+                self.progress.record_vector_coverage(
+                    result.vector_coverage["replayed_iterations"],
+                    result.vector_coverage["fallback_iterations"],
+                )
             self._store(
                 workload, request, result, seconds=timer.seconds
             )

@@ -675,6 +675,36 @@ def _diff_memory(
     return len(addresses), count, sample
 
 
+def _record_vector_coverage(
+    metrics: MetricsRegistry, passes: Sequence[_MechanismPass]
+) -> None:
+    """Fold VectorInterpreter coverage counters into the registry.
+
+    No-op under the classic engine (plain interpreters carry no
+    coverage attributes).  Fallbacks are keyed by denial reason
+    (``ACR009``–``ACR012``, or ``observed-loads`` when a load observer
+    forced the classic loop).
+    """
+    replayed = fallback = 0
+    reasons: Dict[str, int] = {}
+    for p in passes:
+        for it in p.interpreters:
+            counted = getattr(it, "replayed_iterations", None)
+            if counted is None:
+                return
+            replayed += counted
+            fallback += it.fallback_iterations
+            for reason, n in it.fallback_reasons.items():
+                reasons[reason] = reasons.get(reason, 0) + n
+    metrics.counter("vector.replayed_iterations").inc(replayed)
+    metrics.counter("vector.fallback_iterations").inc(fallback)
+    for reason, n in sorted(reasons.items()):
+        metrics.counter(f"vector.fallback.{reason}").inc(n)
+    total = replayed + fallback
+    if total:
+        metrics.histogram("vector.coverage").observe(replayed / total)
+
+
 def _build_passes(
     spec: TrialSpec,
     engine: str = "interp",
@@ -783,6 +813,7 @@ def run_trial(
                 metrics.counter("inject.ecc_lookup_hits").inc(
                     faulty.ecc_lookup_hits
                 )
+            _record_vector_coverage(metrics, (golden, faulty))
         return TrialResult(
             spec=spec,
             outcome=outcome,

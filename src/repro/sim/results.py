@@ -169,6 +169,12 @@ class RunResult:
     #: metrics (``collect_metrics=True`` or an enabled tracer attached).
     #: Default/untraced runs carry ``None`` and serialise it as such.
     obs: Optional[ObsReport] = None
+    #: Vector-engine coverage counters (``replayed_iterations``,
+    #: ``fallback_iterations``, ``fallback.<rule>`` per denial reason).
+    #: Populated only on runs the vector engine executed inline;
+    #: excluded from serialisation like ``checkpoint_store``, so the
+    #: engine-equivalence contract stays byte-identical.
+    vector_coverage: Optional[Dict[str, int]] = None
 
     # -- core quantities -----------------------------------------------------
     @property
@@ -236,8 +242,10 @@ class RunResult:
         """JSON-safe mapping of everything the experiment harness consumes.
 
         ``checkpoint_store`` — an in-memory object graph kept only for
-        post-run verification — is deliberately excluded; results rebuilt
-        by :meth:`from_dict` carry ``checkpoint_store=None``.
+        post-run verification — is deliberately excluded, as is
+        ``vector_coverage`` (engine-private diagnostics that must not
+        perturb the cross-engine bit-identity contract); results rebuilt
+        by :meth:`from_dict` carry ``None`` for both.
         """
         return {
             "label": self.label,
@@ -315,8 +323,8 @@ class RunResult:
         """Statistical equality: every serialised field matches.
 
         This is the determinism contract between the serial and parallel
-        engines — it ignores only ``checkpoint_store`` (never shipped
-        across processes or to disk).
+        engines — it ignores only ``checkpoint_store`` and
+        ``vector_coverage`` (never shipped across processes or to disk).
         """
         return self.to_dict() == other.to_dict()
 

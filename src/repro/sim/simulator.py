@@ -38,7 +38,7 @@ integration tests, which snapshot memory at checkpoints, apply
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
 from repro.acr.handlers import AcrCheckpointHandler, AssocOutcome
@@ -187,6 +187,21 @@ class Simulator:
         self.programs = list(programs)
         self.config = config
         self.energy_model = energy_model or EnergyModel()
+        self._vector_certs: Optional[list] = None
+
+    def vector_certificates(self) -> list:
+        """Per-core static vector-safety certificates (lazy, cached).
+
+        Computed over the *plain* programs: the ACR rewrite only flips
+        the ``assoc`` flag, which changes neither addresses nor
+        dataflow, so one certificate set serves both plain and
+        ACR-compiled runs (mirroring the shared trace-plan cache).
+        """
+        if self._vector_certs is None:
+            from repro.verify.absint.certify import certify_run
+
+            self._vector_certs = certify_run(self.programs)
+        return self._vector_certs
 
     # ------------------------------------------------------------------ api --
     def run_baseline(self, label: str = "NoCkpt", memory_seed: int = 0) -> RunResult:
@@ -694,6 +709,24 @@ class _Run:
                 events_dropped=getattr(self.trace, "dropped", 0),
             )
 
+        # Vector-engine coverage: aggregate the per-core counters when
+        # the run was driven by VectorCoreRunners (duck-typed — classic
+        # interpreters carry no coverage attributes).
+        vector_coverage: Optional[Dict[str, int]] = None
+        if self.engines and hasattr(self.engines[0], "replayed_iterations"):
+            vector_coverage = {
+                "replayed_iterations": sum(
+                    e.replayed_iterations for e in self.engines
+                ),
+                "fallback_iterations": sum(
+                    e.fallback_iterations for e in self.engines
+                ),
+            }
+            for engine in self.engines:
+                for reason, count in engine.fallback_reasons.items():
+                    key = f"fallback.{reason}"
+                    vector_coverage[key] = vector_coverage.get(key, 0) + count
+
         handler = self.handler
         return RunResult(
             label=self.options.label,
@@ -726,6 +759,7 @@ class _Run:
             omission_lookups=handler.omission_lookups if handler else 0,
             checkpoint_store=self.store,
             obs=obs,
+            vector_coverage=vector_coverage,
         )
 
 

@@ -15,8 +15,8 @@ inlined too, with pure counters batched per call: integer counter
 updates commute with the classic path, so only the *float* stall
 accumulators need the flush/refetch dance around interpreter fallbacks.
 
-Bit-identity rules (checked per replayed segment, conservative fallback
-to the classic interpreter otherwise):
+Bit-identity rules (conservative fallback to the classic interpreter
+otherwise):
 
 * every *external* load address of the plan must still be unwritten in
   the memory image — then the plan's store values are exact;
@@ -26,6 +26,15 @@ to the classic interpreter otherwise):
 * under ACR the kernel's register file must be *stable* (no register
   definition after its first store), so the handler can snapshot operand
   values from the plan's per-iteration register rows.
+
+Since PR 7 the runtime checks sit *below* the static vector-safety
+certificates (:mod:`repro.verify.absint`): a segment certified SAFE —
+its loads provably disjoint from every word any core's program can have
+written, its register file provably stable — replays without
+re-checking, and a segment that does fall back carries its certificate's
+denial rule id (ACR009–ACR012) in ``fallback_reasons``, so coverage is
+explainable instruction by instruction (``acr-repro analyze
+--explain-fallbacks``).
 
 Floating-point identity: stall constants are precomputed with exactly
 the expression shape of
@@ -100,6 +109,16 @@ class VectorCoreRunner:
         )
         self._assoc_counts = _shared_meta(_ASSOC_CACHE, self.program)
         self._covered_meta = _shared_meta(_COVERED_CACHE, self.program)
+        # Static vector-safety certificates (cached on the simulator):
+        # a SAFE segment replays without runtime re-checks; a denied one
+        # keeps them, and any fallback it takes is attributed to the
+        # certificate's rule id.
+        self._certs = run.sim.vector_certificates()[core]
+        #: Coverage accounting: iterations replayed from plans vs handed
+        #: to the classic interpreter, the latter keyed by denial rule.
+        self.replayed_iterations = 0
+        self.fallback_iterations = 0
+        self.fallback_reasons: Dict[str, int] = {}
         self._k = 0
         self._i = 0
         #: True while the classic interpreter's position matches ours.
@@ -128,7 +147,7 @@ class VectorCoreRunner:
         return self._k >= len(self.program.kernels)
 
     @property
-    def position(self):
+    def position(self) -> Tuple[int, int]:
         """(kernel index, next iteration) — parity with the interpreter."""
         return (self._k, self._i)
 
@@ -225,13 +244,19 @@ class VectorCoreRunner:
         l2_hits = l2_misses = l2_ev = l2_dev = 0
         mem_acc = wbacks = 0
 
+        certs = self._certs
         while iterations < max_iterations and self._k < n_kernels:
             k = self._k
             kernel = kernels[k]
             budget = min(kernel.trip_count - self._i, max_iterations - iterations)
             plan = plan_for(k)
 
-            usable = (
+            # Certificate pre-filter: SAFE segments are statically proven
+            # to pass every runtime check below (loads disjoint from all
+            # reachable written words, registers stable), so they replay
+            # unconditionally.  Denied segments keep the runtime checks —
+            # denial is advisory (e.g. ACR011 is moot without a handler).
+            usable = certs[k].safe or (
                 not plan.overlap
                 and (
                     handler is None
@@ -263,6 +288,15 @@ class VectorCoreRunner:
                 stores += chunk.stores
                 assoc += chunk.assoc
                 iterations += chunk.iterations
+                # Attribution: the budget never crosses the kernel
+                # boundary, so the whole classic chunk belongs to this
+                # segment's certificate.  A SAFE segment cannot reach
+                # here; "unknown" would mark a certifier soundness bug.
+                reason = certs[k].reason or "unknown"
+                self.fallback_iterations += chunk.iterations
+                self.fallback_reasons[reason] = (
+                    self.fallback_reasons.get(reason, 0) + chunk.iterations
+                )
                 self._k, self._i = interp.position
                 pend_u = run._pending_useful[core]
                 pend_o = run._pending_overhead[core]
@@ -478,6 +512,7 @@ class VectorCoreRunner:
                 assoc += budget * ac
             self._i = i1
             iterations += budget
+            self.replayed_iterations += budget
             self._synced = False
             if i1 >= kernel.trip_count:
                 self._k += 1

@@ -15,16 +15,30 @@ addresses already written, in-kernel load/store overlap, unstable
 register files under a store observer):
 
 * a load observer is attached — plans skip load dispatch, so every
-  ``LoadEvent`` consumer forces the classic loop;
+  ``LoadEvent`` consumer forces the classic loop (tracked under the
+  engine-level reason ``observed-loads``: no certificate is involved,
+  vector replay is definitionally unavailable);
 * the current kernel is *tainted*: ``restore_arch_state`` may install a
   register file that diverges from the plan's rows (fault injection,
   rollback), so the restored-into kernel runs interpreted until it
-  completes.
+  completes — **unless** the static certifier proved the kernel
+  *register-renewing* (:mod:`repro.verify.absint`: every register is
+  defined each iteration before any read, and definitions all precede
+  the first store), in which case the entering file is dead and the
+  plan rows stay exact whatever corruption the restore installed.
+
+Per-segment coverage lands in ``replayed_iterations`` /
+``fallback_iterations`` / ``fallback_reasons`` (rule ids ACR009–ACR012,
+mirroring the simulator-side engine); the renewal unlock can be switched
+off via the ``use_certificates`` class flag for A/B coverage tests.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.verify.absint.certify import KernelSummary
 
 from repro.isa.interpreter import (
     ExecChunk,
@@ -35,7 +49,7 @@ from repro.isa.interpreter import (
 )
 from repro.isa.opcodes import MASK64
 from repro.isa.program import Program
-from repro.sim.vector.plans import plans_for
+from repro.sim.vector.plans import KernelPlan, plans_for
 
 __all__ = ["VectorInterpreter", "make_interpreter"]
 
@@ -49,6 +63,11 @@ _DEFAULT_LINE_BYTES = 64
 
 class VectorInterpreter(Interpreter):
     """Interpreter that fast-forwards through validated plan segments."""
+
+    #: Consult the static register-renewal certificates to replay
+    #: through tainted kernels.  Class-level so coverage tests can A/B
+    #: the PR 6 behaviour (False) against the certified one (True).
+    use_certificates: bool = True
 
     def __init__(
         self,
@@ -64,15 +83,39 @@ class VectorInterpreter(Interpreter):
         #: restore (-1: none).  Cleared by moving past the kernel.
         self._taint_kernel = -1
         # Per kernel: body offsets (into tmpl/addrs columns) of stores.
-        self._store_offsets: dict = {}
+        self._store_offsets: Dict[int, List[Tuple[int, int]]] = {}
+        # Static per-kernel summaries (renewal flags) — computed lazily:
+        # the common golden path never taints, so most interpreters
+        # never need them.
+        self._summaries: Optional[Tuple["KernelSummary", ...]] = None
+        #: Coverage accounting (iterations), fallbacks keyed by reason.
+        self.replayed_iterations = 0
+        self.fallback_iterations = 0
+        self.fallback_reasons: Dict[str, int] = {}
 
-    def restore_arch_state(self, state) -> None:
+    def _regs_renewed(self, k: int) -> bool:
+        """Did the certifier prove kernel ``k`` register-renewing?"""
+        if self._summaries is None:
+            from repro.verify.absint.certify import summarize_program
+
+            self._summaries = summarize_program(self.program).kernels
+        return self._summaries[k].regs_renewed
+
+    def restore_arch_state(self, state: Tuple[int, int, List[int]]) -> None:
         super().restore_arch_state(state)
         self._taint_kernel = self._kernel_index if not self.done else -1
 
+    def _count_fallback(self, reason: str, iterations: int) -> None:
+        self.fallback_iterations += iterations
+        self.fallback_reasons[reason] = (
+            self.fallback_reasons.get(reason, 0) + iterations
+        )
+
     def step_iterations(self, max_iterations: int) -> ExecChunk:
         if self.on_load is not None:
-            return super().step_iterations(max_iterations)
+            chunk = super().step_iterations(max_iterations)
+            self._count_fallback("observed-loads", chunk.iterations)
+            return chunk
         if max_iterations <= 0:
             raise ValueError("max_iterations must be positive")
         iterations = alu = loads = stores = assoc = 0
@@ -87,23 +130,32 @@ class VectorInterpreter(Interpreter):
                 kernel.trip_count - self._iteration, max_iterations - iterations
             )
             plan = self._plans.plan(k)
-            usable = (
-                k != self._taint_kernel
-                and not plan.overlap
-                and (
-                    on_store is None
-                    or plan.stores_per_iter == 0
-                    or plan.regs_stable
-                )
-                and words.keys().isdisjoint(plan.external_loads)
-            )
-            if not usable:
+            # The denial chain mirrors the certificate rules; the first
+            # reason that applies is charged with the classic segment.
+            reason = None
+            if k == self._taint_kernel and not (
+                self.use_certificates and self._regs_renewed(k)
+            ):
+                # Restored register file not provably dead on entry.
+                reason = "ACR011"
+            elif plan.overlap:
+                reason = "ACR009"
+            elif (
+                on_store is not None
+                and plan.stores_per_iter != 0
+                and not plan.regs_stable
+            ):
+                reason = "ACR011"
+            elif not words.keys().isdisjoint(plan.external_loads):
+                reason = "ACR012"
+            if reason is not None:
                 chunk = super().step_iterations(budget)
                 alu += chunk.alu
                 loads += chunk.loads
                 stores += chunk.stores
                 assoc += chunk.assoc
                 iterations += chunk.iterations
+                self._count_fallback(reason, chunk.iterations)
                 continue
 
             i0 = self._iteration
@@ -115,6 +167,7 @@ class VectorInterpreter(Interpreter):
             stores += budget * plan.stores_per_iter
             assoc += budget * plan.assoc_per_iter
             iterations += budget
+            self.replayed_iterations += budget
             if i1 >= kernel.trip_count:
                 self._kernel_index += 1
                 self._prepare_kernel()
@@ -125,7 +178,14 @@ class VectorInterpreter(Interpreter):
                 self._regs = list(plan.rows()[i1 - 1])
         return ExecChunk(iterations, alu, loads, stores, assoc)
 
-    def _replay_stores(self, plan, k: int, i0: int, i1: int, words) -> None:
+    def _replay_stores(
+        self,
+        plan: KernelPlan,
+        k: int,
+        i0: int,
+        i1: int,
+        words: Dict[int, int],
+    ) -> None:
         """Apply the store stream of iterations ``[i0, i1)``.
 
         Old values are read live (they depend on run history); new values

@@ -30,7 +30,7 @@ semantics the AddrMap/first-write unit tests pin.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, cast
 from weakref import WeakKeyDictionary
 
 try:  # numpy accelerates large-trip plan evaluation; plans work without it
@@ -288,7 +288,19 @@ class KernelPlan:
         return sorted({int(line) for line in self.lines})
 
 
-def _kernel_shape(kernel: Kernel):
+def _kernel_shape(
+    kernel: Kernel,
+) -> Tuple[
+    int,
+    tuple,
+    Tuple[int, ...],
+    Tuple[Tuple[bool, int, bool], ...],
+    int,
+    int,
+    int,
+    int,
+    bool,
+]:
     """One pass over the body: codegen shape key, parameters, template.
 
     The *shape key* captures everything structural about the body — the
@@ -379,10 +391,10 @@ _ALU_EXPR = {
 
 #: Shape key -> compiled evaluator.  Global: parameters are externalised,
 #: so one function serves every same-shape kernel in every program.
-_EVAL_CACHE: Dict[tuple, object] = {}
+_EVAL_CACHE: Dict[tuple, Callable[..., tuple]] = {}
 
 
-def _generate_evaluator(key: tuple):
+def _generate_evaluator(key: tuple) -> Callable[..., tuple]:
     """``exec``-compile the specialised evaluator for one shape key.
 
     The function signature is ``f(trip, P, seed) -> (addrs, svalues,
@@ -464,7 +476,7 @@ def _generate_evaluator(key: tuple):
     )
     namespace: Dict[str, object] = {}
     exec("\n".join(lines), namespace)  # noqa: S102 - trusted generated code
-    return namespace["_eval"]
+    return cast(Callable[..., tuple], namespace["_eval"])
 
 
 def _run_codegen(

@@ -8,17 +8,32 @@ of assuming it:
 
 * :mod:`repro.verify.dataflow` — reaching definitions / def-use chains
   over kernel bodies (on top of the compiler's dependence graph);
-* :mod:`repro.verify.rules` — the rule registry (``ACR001``–``ACR007``)
+* :mod:`repro.verify.rules` — the rule registry (``ACR001``–``ACR007``
+  soundness errors, ``ACR009``–``ACR012`` advisory vector-safety rules)
   with stable ids and severities;
 * :mod:`repro.verify.oracle` — the differential recompute oracle
   (``ACR008``): replays every embedded slice against the interpreter;
+* :mod:`repro.verify.absint` — abstract address-range analysis issuing
+  per-segment vector-safety certificates (consumed by
+  :mod:`repro.sim.vector`; explained by ``acr-repro analyze``);
 * :mod:`repro.verify.engine` — rule selection and the
   ``compile_program(verify=True)`` post-pass;
 * :mod:`repro.verify.mutations` — a defect-seeding corpus that proves
   each rule fires on its defect class and nothing else.
 
-Surfaced as ``acr-repro lint`` on the command line.
+Surfaced as ``acr-repro lint`` and ``acr-repro analyze`` on the command
+line.
 """
+
+from repro.verify.absint import (
+    AccessRange,
+    Denial,
+    KernelSummary,
+    ProgramSummary,
+    SegmentCertificate,
+    certify_run,
+    summarize_program,
+)
 
 from repro.verify.dataflow import KernelDataflow
 from repro.verify.diagnostics import Diagnostic, LintReport, Severity
@@ -34,18 +49,25 @@ from repro.verify.rules import RULES, VerifyContext, slice_required_inputs
 
 __all__ = [
     "ALL_RULE_IDS",
+    "AccessRange",
     "DEFECT_RULE_IDS",
+    "Denial",
     "Diagnostic",
     "KernelDataflow",
+    "KernelSummary",
     "LintReport",
     "OracleResult",
+    "ProgramSummary",
     "RULES",
+    "SegmentCertificate",
     "Severity",
     "SliceVerificationError",
     "VerifyContext",
+    "certify_run",
     "run_differential_oracle",
     "seed_defect",
     "select_rules",
     "slice_required_inputs",
+    "summarize_program",
     "verify_program",
 ]

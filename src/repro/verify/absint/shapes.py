@@ -1,0 +1,112 @@
+"""The abstract address domain: stepped ranges with exact footprints.
+
+Every memory stream in the IR is an :class:`AddressPattern` swept over a
+trip count — byte address ``base + ((offset + i*stride) % length) * 8``
+for iteration ``i``.  That makes the *footprint* of a stream a modular
+arithmetic object, not an opaque set: the index sequence
+``(offset + i*stride) mod length`` is periodic with period
+``length / gcd(|stride|, length)`` and its first period visits distinct
+indices, so the footprint of ``trip`` iterations is exactly the first
+``min(trip, period)`` addresses.  :func:`range_of` evaluates that closed
+form; no simulation, no sampling.
+
+The abstraction layered on top is the classic interval: ``[lo, hi]``
+byte bounds per stream.  Disjoint intervals prove disjoint footprints
+without materialising anything — :func:`ranges_intersect` only falls
+back to the exact sets when the intervals touch.  The certifier
+(:mod:`repro.verify.absint.certify`) never answers "maybe": intersection
+queries on these ranges are sound *and complete* for this ISA, which is
+what lets certificate denials double as explanations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import FrozenSet, Optional
+
+from repro.isa.instructions import WORD_BYTES, AddressPattern
+
+__all__ = ["AccessRange", "range_of", "ranges_intersect", "witness_address"]
+
+
+@dataclass(frozen=True)
+class AccessRange:
+    """The footprint of one access pattern over a trip count.
+
+    ``lo``/``hi`` are inclusive byte-address bounds (the interval
+    abstraction); ``addresses`` is the exact footprint (word-aligned
+    byte addresses).  ``distinct`` is the period of the index sequence —
+    ``len(addresses)`` equals ``min(trip, distinct)``.
+    """
+
+    base: int
+    stride: int
+    length: int
+    offset: int
+    trip: int
+    distinct: int
+    lo: int
+    hi: int
+    addresses: FrozenSet[int]
+
+    def intersects(self, other: "AccessRange") -> bool:
+        """Exact footprint intersection (interval prescreen first)."""
+        return ranges_intersect(self, other)
+
+
+def range_of(pattern: AddressPattern, trip: int) -> AccessRange:
+    """Evaluate the closed-form footprint of ``pattern`` over ``trip``
+    iterations.
+
+    The index sequence ``(offset + i*stride) mod length`` has period
+    ``length // gcd(|stride|, length)`` and visits pairwise-distinct
+    indices within one period, so enumerating ``min(trip, period)``
+    iterations yields the complete footprint of any trip count.
+    """
+    if trip <= 0:
+        raise ValueError(f"trip count must be positive, got {trip}")
+    if pattern.stride == 0:
+        period = 1
+    else:
+        period = pattern.length // gcd(abs(pattern.stride), pattern.length)
+    addresses = frozenset(
+        pattern.base
+        + ((pattern.offset + i * pattern.stride) % pattern.length) * WORD_BYTES
+        for i in range(min(trip, period))
+    )
+    return AccessRange(
+        base=pattern.base,
+        stride=pattern.stride,
+        length=pattern.length,
+        offset=pattern.offset,
+        trip=trip,
+        distinct=period,
+        lo=min(addresses),
+        hi=max(addresses),
+        addresses=addresses,
+    )
+
+
+def ranges_intersect(a: AccessRange, b: AccessRange) -> bool:
+    """Do two footprints share a word?  Interval prescreen, then exact."""
+    if a.hi < b.lo or b.hi < a.lo:
+        return False
+    small, large = (
+        (a.addresses, b.addresses)
+        if len(a.addresses) <= len(b.addresses)
+        else (b.addresses, a.addresses)
+    )
+    return not small.isdisjoint(large)
+
+
+def witness_address(
+    a: AccessRange, words: FrozenSet[int]
+) -> Optional[int]:
+    """The smallest address ``a`` shares with ``words`` (None if disjoint).
+
+    Denial messages quote this witness so an explained fallback points at
+    a concrete aliased word, not just a pair of ranges.
+    """
+    common = a.addresses & words
+    return min(common) if common else None

@@ -1,7 +1,8 @@
 """The lint engine: rule selection, execution, and the compile post-pass.
 
 :func:`verify_program` is the single entry point: it runs the selected
-static rules (``ACR001``–``ACR007``) over a compiled program, then — when
+static rules (``ACR001``–``ACR007`` plus the advisory vector-safety
+rules ``ACR009``–``ACR012``) over a compiled program, then — when
 enabled — the differential recompute oracle (``ACR008``), skipping sites
 whose static errors already make replay meaningless, and returns a
 :class:`~repro.verify.diagnostics.LintReport`.
@@ -111,6 +112,7 @@ def verify_program(
         slices=compiled.slices,
         policy=policy,
         operand_capacity=operand_capacity,
+        peers=compiled.peers,
     )
     report = LintReport(slices_checked=len(compiled.slices))
     static_ids = [r for r in rule_ids if r in RULES]

@@ -26,6 +26,7 @@ from repro.isa.instructions import (
     Instruction,
     LoadInstr,
     MoviInstr,
+    StoreInstr,
 )
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Kernel, Program
@@ -207,6 +208,139 @@ def _aliasing_hazard(compiled: CompiledProgram) -> CompiledProgram:
     return dataclasses.replace(compiled, program=program)
 
 
+def _fresh_register(program: Program) -> int:
+    """One register above everything the program touches.
+
+    Vector-safety mutators insert *body* instructions; a tiny fresh
+    index (instead of ``_FORGE_REG_BASE``) keeps the interpreter's
+    register file — sized ``max register + 1`` — from ballooning when
+    the differential oracle replays the mutated program.
+    """
+    width = 0
+    for kernel in program.kernels:
+        for ins in kernel.body:
+            if isinstance(ins, AluInstr):
+                width = max(width, ins.dst, ins.src_a, ins.src_b)
+            elif isinstance(ins, StoreInstr):
+                width = max(width, ins.src)
+            else:
+                width = max(width, ins.dst)
+    return width + 1
+
+
+def _replace_kernel_body(
+    program: Program, kernel_index: int, body: List[Instruction]
+) -> Program:
+    """Rebuild ``program`` with one kernel's body swapped out."""
+    kernels = [
+        Kernel(k.name, body if i == kernel_index else list(k.body),
+               k.trip_count, k.phase, k.ghost_alu)
+        for i, k in enumerate(program.kernels)
+    ]
+    return Program(kernels, program.thread_id)
+
+
+def _vector_overlap(compiled: CompiledProgram) -> CompiledProgram:
+    """ACR009: load the footprint a store of the same kernel writes.
+
+    The load lands *before* the store into a fresh register, so the
+    kernel stays register-stable and no slice's frontier is clobbered —
+    only the self-aliasing invariant breaks.
+    """
+    sl = _victim(compiled)
+    loc = compiled.program.store_sites[sl.site]
+    kernel = compiled.program.kernels[loc.kernel_index]
+    store = kernel.body[loc.instr_index]
+    assert isinstance(store, StoreInstr)
+    body: List[Instruction] = list(kernel.body)
+    body.insert(
+        loc.instr_index,
+        LoadInstr(_fresh_register(compiled.program), store.pattern),
+    )
+    # Store order is unchanged, so Program re-assigns identical site ids.
+    program = _replace_kernel_body(compiled.program, loc.kernel_index, body)
+    return dataclasses.replace(compiled, program=program)
+
+
+def _cross_core_alias(compiled: CompiledProgram) -> CompiledProgram:
+    """ACR010: forge a peer program storing to a word this one loads."""
+    pattern = next(
+        (
+            ins.pattern
+            for kernel in compiled.program.kernels
+            for ins in kernel.body
+            if isinstance(ins, LoadInstr)
+        ),
+        None,
+    )
+    if pattern is None:
+        raise ValueError("program has no load for a peer to race against")
+    peer = Program(
+        [
+            Kernel(
+                "forged-peer",
+                [MoviInstr(0, 1), StoreInstr(0, pattern)],
+                1,
+            )
+        ],
+        compiled.program.thread_id + 1,
+    )
+    return dataclasses.replace(compiled, peers=compiled.peers + (peer,))
+
+
+def _unstable_register(compiled: CompiledProgram) -> CompiledProgram:
+    """ACR011: redefine a (fresh) register after a covered store.
+
+    The MOVI is dead code — it writes a register nothing reads — so
+    stored values, slices and frontiers are untouched; only the
+    store-time-observed register file stops matching the
+    end-of-iteration row.
+    """
+    sl = _victim(compiled)
+    loc = compiled.program.store_sites[sl.site]
+    kernel = compiled.program.kernels[loc.kernel_index]
+    body: List[Instruction] = list(kernel.body)
+    body.insert(
+        loc.instr_index + 1,
+        MoviInstr(_fresh_register(compiled.program), 1),
+    )
+    program = _replace_kernel_body(compiled.program, loc.kernel_index, body)
+    return dataclasses.replace(compiled, program=program)
+
+
+def _external_load(compiled: CompiledProgram) -> CompiledProgram:
+    """ACR012: append a load-only kernel reading an earlier store's words.
+
+    The new kernel stores nothing, so every existing site id survives;
+    its load intersecting a *previous* kernel's store footprint is the
+    one new fact the certifier must refuse.
+    """
+    pattern = next(
+        (
+            ins.pattern
+            for kernel in compiled.program.kernels
+            for ins in kernel.body
+            if isinstance(ins, StoreInstr)
+        ),
+        None,
+    )
+    if pattern is None:
+        raise ValueError("program has no store for a later kernel to read")
+    kernels = [
+        Kernel(k.name, list(k.body), k.trip_count, k.phase, k.ghost_alu)
+        for k in compiled.program.kernels
+    ]
+    kernels.append(
+        Kernel(
+            "forged-reader",
+            [LoadInstr(_fresh_register(compiled.program), pattern)],
+            1,
+        )
+    )
+    program = Program(kernels, compiled.program.thread_id)
+    return dataclasses.replace(compiled, program=program)
+
+
 def _recompute_divergence(compiled: CompiledProgram) -> CompiledProgram:
     """ACR008: corrupt slice semantics while staying structurally clean."""
     sl = _victim(compiled)
@@ -236,6 +370,12 @@ _MUTATORS: Dict[str, Callable[[CompiledProgram], CompiledProgram]] = {
     "ACR005": _threshold_violation,
     "ACR006": _result_undefined,
     "ACR007": _aliasing_hazard,
+    # Advisory vector-safety defects, in registry order (the oracle's
+    # ACR008 stays last, mirroring ``ALL_RULE_IDS``).
+    "ACR009": _vector_overlap,
+    "ACR010": _cross_core_alias,
+    "ACR011": _unstable_register,
+    "ACR012": _external_load,
     "ACR008": _recompute_divergence,
 }
 

@@ -19,6 +19,24 @@ ACR006    result-reg-undefined      the result register is always defined
 ACR007    frontier-aliasing-hazard  snapshot values equal slice-bound loads
 ACR008    recompute-divergence      (dynamic oracle, see ``oracle.py``)
 ========  ========================  ======================================
+
+ACR009–ACR012 are the **vector-safety** rules: advisory (info/warning)
+findings backed by the abstract address-range analysis in
+:mod:`repro.verify.absint`.  They never reject a program — the vector
+engine falls back to the classic interpreter for any segment they deny —
+but they make every such fallback explainable (``acr-repro analyze``):
+
+========  =========================  =====================================
+rule id   slug                       fallback it explains
+========  =========================  =====================================
+ACR009    vector-unsafe-overlap      kernel loads alias its own stores
+ACR010    cross-core-aliasing-race   kernel loads alias another core's
+                                     stores
+ACR011    unstable-observed-register register file at store time differs
+                                     from the plan's end-of-iteration row
+ACR012    external-load-intersection kernel loads alias stores of earlier
+                                     kernels in the same program
+========  =========================  =====================================
 """
 
 from __future__ import annotations
@@ -83,6 +101,9 @@ class VerifyContext:
     policy: Optional[object] = None
     #: Operand-buffer word budget an entry's snapshot must fit.
     operand_capacity: Optional[int] = None
+    #: Programs sharing memory with this one (the other cores of the
+    #: run); ACR010 checks cross-core aliasing against their stores.
+    peers: Tuple[Program, ...] = ()
     _dataflow: Dict[int, KernelDataflow] = field(default_factory=dict)
 
     def dataflow(self, kernel_index: int) -> KernelDataflow:
@@ -378,6 +399,129 @@ def _check_frontier_aliasing(ctx: VerifyContext) -> Iterator[Diagnostic]:
                     sl.site,
                     where,
                 )
+
+
+# ---------------------------------------------------------------------------
+# Vector-safety rules (advisory: they explain fallbacks, never reject)
+# ---------------------------------------------------------------------------
+
+
+def _kernel_where(ctx: VerifyContext, k_idx: int, span: Tuple[int, int]) -> str:
+    """Human location string for a body-instruction span."""
+    name = ctx.program.kernels[k_idx].name
+    lo, hi = span
+    instrs = f"instr {lo}" if lo == hi else f"instrs {lo}..{hi}"
+    return f"kernel {name!r} {instrs}"
+
+
+@_register(
+    "ACR009",
+    "vector-unsafe-overlap",
+    Severity.WARNING,
+    "a kernel whose loads alias its own stores cannot replay batched",
+)
+def _check_vector_overlap(ctx: VerifyContext) -> Iterator[Diagnostic]:
+    from repro.verify.absint.certify import summarize_program
+
+    for k_idx, ks in enumerate(summarize_program(ctx.program).kernels):
+        if ks.overlap:
+            witness = min(ks.load_addrs & ks.store_addrs)
+            assert ks.overlap_span is not None
+            yield _diag(
+                "ACR009",
+                f"loads and stores of kernel {ks.name!r} share word "
+                f"0x{witness:x}; the vector engine must interpret this "
+                f"segment classically",
+                location=_kernel_where(ctx, k_idx, ks.overlap_span),
+            )
+
+
+@_register(
+    "ACR010",
+    "cross-core-aliasing-race",
+    Severity.WARNING,
+    "a kernel loading words another core stores cannot replay batched",
+)
+def _check_cross_core_aliasing(ctx: VerifyContext) -> Iterator[Diagnostic]:
+    from repro.verify.absint.certify import summarize_program
+
+    if not ctx.peers:
+        return
+    peer_stores = frozenset().union(
+        *(summarize_program(p).store_union for p in ctx.peers)
+    )
+    if not peer_stores:
+        return
+    for k_idx, ks in enumerate(summarize_program(ctx.program).kernels):
+        common = ks.load_addrs & peer_stores
+        if common:
+            offending = [
+                pos
+                for pos, r in ks.loads
+                if not r.addresses.isdisjoint(peer_stores)
+            ]
+            yield _diag(
+                "ACR010",
+                f"kernel {ks.name!r} loads word 0x{min(common):x} which "
+                f"another core's program stores to — replay order is not "
+                f"provable across cores",
+                location=_kernel_where(
+                    ctx, k_idx, (min(offending), max(offending))
+                ),
+            )
+
+
+@_register(
+    "ACR011",
+    "unstable-observed-register",
+    Severity.INFO,
+    "register files observed at store time must match plan rows",
+)
+def _check_unstable_registers(ctx: VerifyContext) -> Iterator[Diagnostic]:
+    from repro.verify.absint.certify import summarize_program
+
+    for k_idx, ks in enumerate(summarize_program(ctx.program).kernels):
+        if ks.stores and not ks.regs_stable:
+            assert ks.unstable_span is not None
+            yield _diag(
+                "ACR011",
+                f"kernel {ks.name!r} redefines a register after its first "
+                f"store; observers would see a file that differs from the "
+                f"plan's end-of-iteration row",
+                location=_kernel_where(ctx, k_idx, ks.unstable_span),
+            )
+
+
+@_register(
+    "ACR012",
+    "external-load-intersection",
+    Severity.INFO,
+    "a kernel loading words an earlier kernel stored cannot replay batched",
+)
+def _check_external_load_intersection(
+    ctx: VerifyContext,
+) -> Iterator[Diagnostic]:
+    from repro.verify.absint.certify import summarize_program
+
+    summary = summarize_program(ctx.program)
+    for k_idx, ks in enumerate(summary.kernels):
+        earlier = summary.prefix_stores[k_idx]
+        common = ks.load_addrs & earlier
+        if common:
+            offending = [
+                pos
+                for pos, r in ks.loads
+                if not r.addresses.isdisjoint(earlier)
+            ]
+            yield _diag(
+                "ACR012",
+                f"kernel {ks.name!r} loads word 0x{min(common):x} stored "
+                f"by an earlier kernel of the same program; plan values "
+                f"precomputed from the initial image would be stale",
+                location=_kernel_where(
+                    ctx, k_idx, (min(offending), max(offending))
+                ),
+            )
 
 
 def run_static_rules(

@@ -79,6 +79,20 @@ class TestFirstStoreOccurrence:
         plan = plans_for(program, 0, LINE_BYTES).plan(0)
         assert plan.first_store_occurrence() == []
 
+    def test_single_trip_is_always_first(self):
+        # One iteration cannot retouch anything, whatever the stride.
+        for stride in (1, 0, -1):
+            plan = _plan(AddressPattern(0, stride, 8), trip=1)
+            assert plan.first_store_occurrence() == [True]
+
+    def test_single_trip_duplicate_store_not_first(self):
+        # Even with trip 1 the *second* store of the iteration can
+        # retouch the word the first one just wrote.
+        pattern = AddressPattern(0, 0, 8)
+        plan = _plan(pattern, trip=1, extra_stores=[pattern])
+        assert plan.first_store_occurrence() == [True, False]
+
+
 
 def _stride_one_programs(num_cores=2, reps=6, words=48):
     """Each rep rewrites the same ``words``-word region once."""
@@ -173,3 +187,68 @@ class TestCapacityPressureEquivalence:
             )
         )
         assert run.omissions < roomy.omissions
+
+
+def _edge_pattern_programs(num_cores=2):
+    """Kernels hitting the plan.overlap edges: wraparound footprints,
+    stride-0 streams, negative strides, and single-trip segments."""
+    programs = []
+    for t in range(num_cores):
+        base = (t + 1) << 24
+        edges = [
+            # Wraparound: the load window wraps past the region end and
+            # back over words the store stream already touched.
+            ("wrap", AddressPattern(base, 1, 8),
+             AddressPattern(base, 1, 8, offset=6), 8),
+            # Stride-0: every iteration rereads one fixed word.
+            ("stride0", AddressPattern(base + 256, 1, 8),
+             AddressPattern(base + 256, 0, 8, offset=3), 6),
+            # Negative stride: load walks backwards through the region.
+            ("negstride", AddressPattern(base + 512, 1, 4),
+             AddressPattern(base + 512, -1, 4, offset=2), 4),
+            # Single trip: one iteration, trivially overlap-free.
+            ("singletrip", AddressPattern(base + 768, 1, 8),
+             AddressPattern(base + 768 + (1 << 12), 1, 8), 1),
+        ]
+        kernels = [
+            chain_kernel(
+                name,
+                store,
+                [load],
+                chain_depth=2,
+                trip_count=trip,
+                salt=t * 100 + i,
+            )
+            for i, (name, store, load, trip) in enumerate(edges)
+        ]
+        programs.append(Program(kernels, t))
+    return programs
+
+
+class TestEdgePatternEquivalence:
+    """The overlap edges run bit-identically on both engines.
+
+    These kernels force the vector engine down both sides of its
+    replay/fallback split (the wrap and stride-0 kernels overlap, the
+    single-trip one does not) — the result must not depend on which
+    path executed."""
+
+    @pytest.mark.parametrize(
+        "request_", [ConfigRequest("Ckpt_NE", num_checkpoints=3),
+                     ConfigRequest("ReCkpt_E", num_checkpoints=3)],
+        ids=["Ckpt_NE", "ReCkpt_E"],
+    )
+    def test_engines_bit_identical(self, request_):
+        sim = Simulator(_edge_pattern_programs(), MachineConfig(num_cores=2))
+        base = sim.run_baseline()
+        a = sim.run(make_options(request_, base.baseline_profile(), engine="interp"))
+        b = sim.run(make_options(request_, base.baseline_profile(), engine="vector"))
+        assert a.to_dict() == b.to_dict()
+
+    def test_certifier_agrees_with_plans(self):
+        from repro.verify.absint.certify import summarize_kernel
+
+        for program in _edge_pattern_programs():
+            for k, kernel in enumerate(program.kernels):
+                plan = plans_for(program, 0, LINE_BYTES).plan(k)
+                assert summarize_kernel(k, kernel).overlap == plan.overlap

@@ -191,3 +191,101 @@ class TestOverlapDetection:
         )
         plan = _build_plan(kernel, SEED, LINE_BYTES)
         assert plan.overlap
+
+
+class TestOverlapEdgeCases:
+    """Directed footprint edge cases: the overlap bit must be *exact*.
+
+    Addresses follow ``base + ((offset + i*stride) % length) * 8``; a
+    range-interval approximation would get every case below wrong in at
+    least one direction, so these pin the enumerated-footprint
+    semantics for both the plan builder and the static certifier.
+    """
+
+    @staticmethod
+    def _kernel(load, store, trip):
+        from repro.isa.builder import chain_kernel
+
+        return chain_kernel(
+            "edge", store, [load], chain_depth=2, trip_count=trip
+        )
+
+    def _overlap(self, load, store, trip):
+        from repro.verify.absint.certify import summarize_kernel
+
+        kernel = self._kernel(load, store, trip)
+        plan = _build_plan(kernel, SEED, LINE_BYTES)
+        # The static certifier must agree with the ground truth exactly.
+        assert summarize_kernel(0, kernel).overlap == plan.overlap
+        return plan.overlap
+
+    def test_wraparound_reaches_store_words(self):
+        # Load indices 6,7,0,1 — the wrap back to 0,1 hits the store's
+        # 0..3; without modular wrap the footprints look disjoint.
+        load = AddressPattern(0, 1, 8, offset=6)
+        store = AddressPattern(0, 1, 8)
+        assert self._overlap(load, store, trip=4)
+
+    def test_short_trip_stops_before_wrap(self):
+        # Same patterns, trip 2: load touches only indices 6,7.
+        load = AddressPattern(0, 1, 8, offset=6)
+        store = AddressPattern(0, 1, 8)
+        assert not self._overlap(load, store, trip=2)
+
+    def test_stride_zero_hits_fixed_word(self):
+        # A stride-0 load pins one word; the store walks into it at
+        # iteration 3.
+        load = AddressPattern(0, 0, 8, offset=3)
+        store = AddressPattern(0, 1, 8)
+        assert self._overlap(load, store, trip=4)
+
+    def test_stride_zero_misses_untouched_word(self):
+        load = AddressPattern(0, 0, 8, offset=3)
+        store = AddressPattern(0, 1, 8)
+        assert not self._overlap(load, store, trip=3)
+
+    def test_negative_stride_walks_into_store(self):
+        # Load indices 2,1 (walking down); store indices 0,1.
+        load = AddressPattern(0, -1, 8, offset=2)
+        store = AddressPattern(0, 1, 8)
+        assert self._overlap(load, store, trip=2)
+
+    def test_negative_stride_disjoint_region(self):
+        load = AddressPattern(1 << 20, -1, 8, offset=2)
+        store = AddressPattern(0, 1, 8)
+        assert not self._overlap(load, store, trip=2)
+
+    def test_single_trip_same_region_disjoint_words(self):
+        # One iteration only: load index 5 vs store index 0 — the shared
+        # region alone must not flag an overlap.
+        load = AddressPattern(0, 1, 8, offset=5)
+        store = AddressPattern(0, 1, 8)
+        assert not self._overlap(load, store, trip=1)
+
+    def test_single_trip_same_word_overlaps(self):
+        load = AddressPattern(0, 1, 8, offset=0)
+        store = AddressPattern(0, 1, 8)
+        assert self._overlap(load, store, trip=1)
+
+
+class TestStaticPlanAgreement:
+    """The certifier's abstract interpretation vs the plan builder.
+
+    ``summarize_kernel`` re-derives the overlap bit and register
+    stability from the IR alone; both must match what the plan builder
+    computed by enumeration, over the same randomized corpus the
+    engine-equivalence suite draws from.
+    """
+
+    @pytest.mark.parametrize("batch", range(4))
+    def test_random_kernels_agree(self, batch):
+        from repro.verify.absint.certify import summarize_kernel
+
+        rng = random.Random(7000 + batch)
+        for i in range(40):
+            kernel = _random_kernel(rng, f"agree{batch}_{i}", 1 << 22)
+            plan = _build_plan(kernel, SEED, LINE_BYTES)
+            ks = summarize_kernel(0, kernel)
+            assert ks.overlap == plan.overlap, kernel.name
+            assert ks.regs_stable == plan.regs_stable, kernel.name
+            assert ks.trip == kernel.trip_count

@@ -346,3 +346,80 @@ class TestInjectCommand:
 
         assert stable(parallel) == stable(serial)
         assert "resilience: 0 retried" in serial
+
+
+class TestAnalyzeCommand:
+    TINY = ["--scale", "0.1", "--cores", "2", "--reps", "8"]
+
+    def test_clean_benchmark_exits_zero(self, capsys):
+        assert main(["analyze", "bt"] + self.TINY) == 0
+        out = capsys.readouterr().out
+        assert "vector-safety certificates" in out
+        assert "bt" in out
+
+    def test_json_with_coverage(self, capsys):
+        import json
+
+        assert main(
+            ["analyze", "cg", "--format", "json", "--explain-fallbacks"]
+            + self.TINY
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["benchmark"] == "cg"
+        assert doc["safe"] + doc["denied"] == doc["segments"] > 0
+        assert doc["coverage"]["replayed_iterations"] > 0
+
+    def test_missing_benchmark_exits_two(self, capsys):
+        assert main(["analyze"] + self.TINY) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_denials_render_rule_and_span(self, capsys, monkeypatch):
+        # A forged workload whose kernel reloads its own store window
+        # after a wrap: ACR009 denies the certificate, the runtime
+        # degrades the same segment, and the explain output must tie
+        # the two together.
+        from repro.isa.builder import chain_kernel
+        from repro.isa.instructions import AddressPattern
+        from repro.isa.program import Program
+
+        class ClashSpec:
+            def build_programs(self, num_cores, region_scale=1.0, reps=None):
+                programs = []
+                for t in range(num_cores):
+                    base = (t + 1) << 24
+                    kernel = chain_kernel(
+                        "clash",
+                        AddressPattern(base, 1, 8),
+                        [AddressPattern(base, 1, 8, offset=6)],
+                        chain_depth=2,
+                        trip_count=8,
+                        salt=t + 1,
+                    )
+                    programs.append(Program([kernel], t))
+                return programs
+
+        monkeypatch.setattr(
+            "repro.cli.get_workload", lambda name: ClashSpec()
+        )
+        # Advisory denials explain the fallback; they never fail the run.
+        assert main(
+            ["analyze", "bt", "--explain-fallbacks"] + self.TINY
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ACR009" in out
+        assert "instr" in out  # the offending instruction span
+        assert "runtime fallback ACR009" in out
+
+    def test_unexplained_fallback_exits_one(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "repro.cli._vector_runtime_coverage",
+            lambda programs, cores: {
+                "replayed_iterations": 10,
+                "fallback_iterations": 5,
+                "fallback.mystery": 5,
+            },
+        )
+        assert main(
+            ["analyze", "bt", "--explain-fallbacks"] + self.TINY
+        ) == 1
+        assert "UNEXPLAINED" in capsys.readouterr().out

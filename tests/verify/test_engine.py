@@ -22,7 +22,8 @@ class TestSelectRules:
 
     def test_select_exact_and_prefix(self):
         assert select_rules(["ACR003"]) == ["ACR003"]
-        assert select_rules(["ACR00"]) == list(ALL_RULE_IDS)
+        assert select_rules(["ACR0"]) == list(ALL_RULE_IDS)
+        assert select_rules(["ACR01"]) == ["ACR010", "ACR011", "ACR012"]
 
     def test_case_insensitive(self):
         assert select_rules(["acr005"]) == ["ACR005"]
