@@ -87,8 +87,8 @@ def test_slice_recompute_throughput(benchmark):
 
 # --- observability overhead guardrails -------------------------------------
 
-def _paired_minima(sim, opts_a, opts_b, pairs):
-    """Best-of-N wall clock for two option sets, sampled interleaved.
+def _paired_minima(run_a, run_b, pairs):
+    """Best-of-N wall clock for two runnables, sampled interleaved.
 
     Back-to-back batches drift (allocator growth, frequency scaling), so
     timing all of A before any of B fabricates a delta.  Alternating
@@ -100,10 +100,10 @@ def _paired_minima(sim, opts_a, opts_b, pairs):
 
     mins = [float("inf"), float("inf")]
     for _ in range(pairs):
-        for slot, opts in enumerate((opts_a, opts_b)):
+        for slot, run in enumerate((run_a, run_b)):
             gc.collect()
             t0 = time.perf_counter()
-            sim.run(opts)
+            run()
             mins[slot] = min(mins[slot], time.perf_counter() - t0)
     return mins
 
@@ -136,13 +136,59 @@ def test_null_tracer_zero_overhead():
 
     sim.run(plain)  # warm-up (compile caches, allocator)
     for attempt in range(3):
-        t_plain, t_null = _paired_minima(sim, plain, nulled, pairs=5)
+        t_plain, t_null = _paired_minima(
+            lambda: sim.run(plain), lambda: sim.run(nulled), pairs=5
+        )
         delta = abs(t_null - t_plain) / t_plain
         if delta < 0.02:
             return
     raise AssertionError(
         f"NullTracer overhead {delta * 100:.2f}% exceeds the 2% guardrail "
         f"(plain {t_plain * 1e3:.2f} ms, null {t_null * 1e3:.2f} ms)"
+    )
+
+
+def test_telemetry_disabled_zero_overhead():
+    """Ambient telemetry must not tax an untelemetered run (<2% delta).
+
+    Side A runs with telemetry fully disabled: the module-global sink is
+    ``None``, ``_Run`` samples a single False, and the per-checkpoint
+    emission never executes.  Side B runs the *enabled* streaming path —
+    ``task_telemetry`` with a discarding sink, so every heartbeat,
+    metrics delta and phase transition is built and dispatched.  Holding
+    even the enabled delta under the guardrail bounds the disabled path
+    a fortiori, and catches instrumentation leaking into the hot loop.
+    """
+    from repro.arch.config import MachineConfig
+    from repro.obs.telemetry.emit import task_telemetry
+    from repro.sim.simulator import SimulationOptions, Simulator
+    from repro.workloads.registry import get_workload
+
+    config = MachineConfig(num_cores=2)
+    programs = get_workload("is").build_programs(2, region_scale=0.1, reps=20)
+    sim = Simulator(programs, config)
+    baseline = sim.run_baseline().baseline_profile()
+    opts = SimulationOptions(
+        label="bench", scheme="global", acr=True,
+        num_checkpoints=5, baseline=baseline,
+    )
+
+    def run_plain():
+        sim.run(opts)
+
+    def run_streaming():
+        with task_telemetry("bench", lambda frame: None):
+            sim.run(opts)
+
+    run_plain()  # warm-up (compile caches, allocator)
+    for attempt in range(3):
+        t_plain, t_live = _paired_minima(run_plain, run_streaming, pairs=5)
+        delta = abs(t_live - t_plain) / t_plain
+        if delta < 0.02:
+            return
+    raise AssertionError(
+        f"telemetry overhead {delta * 100:.2f}% exceeds the 2% guardrail "
+        f"(plain {t_plain * 1e3:.2f} ms, streaming {t_live * 1e3:.2f} ms)"
     )
 
 

@@ -25,7 +25,11 @@ Installed as ``acr-repro`` (or run with ``python -m repro.cli``):
 * ``acr-repro inject``            — fault-injection campaign: flip real
   bits in live mechanism state, drive detection → rollback → Slice
   recomputation, and verify recovery bit-exactly against a golden
-  re-execution (exit 1 unless every trial recovers exactly).
+  re-execution (exit 1 unless every trial recovers exactly);
+* ``acr-repro monitor --replay``  — render a recorded campaign-telemetry
+  snapshot stream (``report``/``run``/``inject`` write one with
+  ``--snapshots``; ``--live`` additionally shows it as a live dashboard
+  while the campaign runs).
 """
 
 from __future__ import annotations
@@ -154,6 +158,57 @@ def _check_resume(args) -> None:
         )
 
 
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--live", action="store_true",
+                        help="stream live campaign telemetry to a "
+                             "dashboard on stderr (plain blocks on dumb "
+                             "terminals/pipes; in-place repaint on a TTY)")
+    parser.add_argument("--snapshots", type=str, default=None,
+                        metavar="PATH",
+                        help="write periodic telemetry snapshots (JSONL) "
+                             "here; with --live/--cache-dir and no PATH, "
+                             "defaults to telemetry.jsonl beside the "
+                             "completion journal")
+
+
+def _telemetry_for(args, runner: ExperimentRunner):
+    """Build (and attach) the campaign telemetry the flags ask for —
+    ``None`` (telemetry fully disabled) when neither flag is given."""
+    live = getattr(args, "live", False)
+    snapshots = getattr(args, "snapshots", None)
+    if not live and snapshots is None:
+        return None
+    from repro.obs.telemetry import CampaignTelemetry, Monitor
+
+    path = snapshots
+    if path is None and runner.cache is not None:
+        path = runner.cache.telemetry_path()
+    telemetry = CampaignTelemetry(
+        progress=runner.progress, snapshot_path=path
+    )
+    runner.telemetry = telemetry
+    if live:
+        Monitor(stream=sys.stderr).attach(telemetry)
+    return telemetry
+
+
+def _finish_telemetry(runner: ExperimentRunner, telemetry) -> None:
+    """Close the telemetry (final snapshot), fold the totals into the
+    progress footer, and print the campaign attribution table."""
+    if telemetry is None:
+        return
+    telemetry.close()
+    runner.progress.record_telemetry(
+        telemetry.frames, telemetry.snapshots_written
+    )
+    if telemetry.profiler.total_seconds > 0:
+        print()
+        print(telemetry.attribution_table())
+    print(runner.progress.telemetry_line())
+    if telemetry.writer is not None:
+        print(f"telemetry snapshots: {telemetry.writer.path}")
+
+
 def _runner(args) -> ExperimentRunner:
     _check_resume(args)
     return ExperimentRunner(
@@ -175,16 +230,20 @@ def _print_resilience(runner: ExperimentRunner) -> None:
 def cmd_report(args) -> int:
     from repro.experiments.report import generate_report
 
+    runner = _runner(args)
+    telemetry = _telemetry_for(args, runner)
     generate_report(
-        _runner(args),
+        runner,
         include_scalability=args.scalability,
         out_dir=args.out,
     )
+    _finish_telemetry(runner, telemetry)
     return 0
 
 
 def cmd_run(args) -> int:
     runner = _runner(args)
+    telemetry = _telemetry_for(args, runner)
     base = runner.baseline(args.benchmark)
     run = runner.run_default(
         args.benchmark,
@@ -216,6 +275,7 @@ def cmd_run(args) -> int:
         )
     print(f"\nvs NoCkpt: wall x{run.wall_ns / base.wall_ns:.3f}  "
           f"energy x{run.energy_pj / base.energy_pj:.3f}")
+    _finish_telemetry(runner, telemetry)
     return 0
 
 
@@ -518,6 +578,11 @@ def cmd_trace(args) -> int:
 
 def cmd_stats(args) -> int:
     runner = _runner(args)
+    tracer = (
+        RecordingTracer(capacity=args.limit)
+        if args.limit is not None
+        else None
+    )
     run = runner.run_traced(
         args.benchmark,
         runner.default_request(
@@ -526,12 +591,21 @@ def cmd_stats(args) -> int:
             num_checkpoints=args.checkpoints,
             error_count=args.errors,
         ),
-        tracer=None,
+        tracer=tracer,
         collect_metrics=True,
     )
     print(run.describe())
     print()
     print(run.obs.summary_table())
+    if tracer is not None:
+        print()
+        print(runner.progress.tracing_line())
+        if run.obs.events_dropped:
+            print(
+                f"warning: {run.obs.events_dropped} events dropped at "
+                f"--limit {args.limit}; raise the cap to keep them",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -563,6 +637,7 @@ def cmd_inject(args) -> int:
         resilience=_policy(args), resume=args.resume,
         engine=args.engine,
     )
+    telemetry = _telemetry_for(args, runner)
     report = run_campaign(runner, specs)
     print(report.summary_table())
     for trial in report.divergent_trials()[:8]:
@@ -577,10 +652,17 @@ def cmd_inject(args) -> int:
     print(report.verdict_line())
     print(runner.progress.summary_line())
     _print_resilience(runner)
+    _finish_telemetry(runner, telemetry)
     if args.json:
         report.write_json(args.json)
         print(f"json report: {args.json}")
     return 0 if report.ok else 1
+
+
+def cmd_monitor(args) -> int:
+    from repro.obs.telemetry import replay
+
+    return replay(args.replay)
 
 
 def cmd_baselines(args) -> int:
@@ -611,6 +693,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scalability", action="store_true")
     p.add_argument("--out", type=str, default=None,
                    help="also write each artifact to <out>/<name>.txt")
+    _add_telemetry(p)
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("run", help="run one configuration")
@@ -619,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoints", type=int, default=25)
     p.add_argument("--errors", type=int, default=1)
     _add_common(p)
+    _add_telemetry(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare", help="all configurations side by side")
@@ -712,6 +796,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=list(CONFIG_NAMES))
     p.add_argument("--checkpoints", type=int, default=25)
     p.add_argument("--errors", type=int, default=1)
+    p.add_argument("--limit", type=_positive_int, default=None,
+                   help="also record the event stream, capped at LIMIT "
+                        "(earliest kept; the rest counted as dropped and "
+                        "surfaced in the trace footer)")
     _add_common(p)
     p.set_defaults(func=cmd_stats)
 
@@ -759,9 +847,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="interpreter flavour for both passes "
                         "(bit-identical results)")
     _add_resilience(p)
+    _add_telemetry(p)
     p.add_argument("--json", type=str, default=None,
                    help="also write the machine-readable report here")
     p.set_defaults(func=cmd_inject)
+
+    p = sub.add_parser(
+        "monitor",
+        help="replay a recorded telemetry snapshot stream as the live "
+             "dashboard would have rendered it",
+    )
+    p.add_argument("--replay", type=str, required=True,
+                   metavar="SNAPSHOTS",
+                   help="telemetry snapshot JSONL (telemetry.jsonl beside "
+                        "the completion journal, or --snapshots PATH)")
+    p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser("baselines", help="what-if checkpointing baselines")
     p.add_argument("benchmark", choices=all_workload_names())

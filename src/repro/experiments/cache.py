@@ -141,6 +141,11 @@ class ResultCache:
         :class:`repro.resilience.journal.CompletionJournal`)."""
         return self.root / "journal.jsonl"
 
+    def telemetry_path(self) -> Path:
+        """The campaign-telemetry snapshot stream beside this cache (see
+        :class:`repro.obs.telemetry.snapshots.SnapshotWriter`)."""
+        return self.root / "telemetry.jsonl"
+
     # ------------------------------------------------------------------- load --
     def load(self, key: str) -> Optional[RunResult]:
         """The cached simulation result for ``key``, or ``None`` on a miss.

@@ -73,6 +73,13 @@ class ProgressTracker:
     # versus falling back to the classic loop.
     vector_replayed: int = 0
     vector_fallback: int = 0
+    # Live-telemetry accounting (repro.obs.telemetry): set once at the
+    # end of a campaign that ran with a CampaignTelemetry attached.
+    # ``telemetry_attached`` keeps the zeros visible — a campaign that
+    # streamed nothing reports that, it does not go silent.
+    telemetry_frames: int = 0
+    telemetry_snapshots: int = 0
+    telemetry_attached: bool = False
 
     # ------------------------------------------------------------------ events --
     def record(self, workload: str, config: str, source: str,
@@ -132,6 +139,13 @@ class ProgressTracker:
         """Accumulate one vector-engine run's coverage counters."""
         self.vector_replayed += replayed
         self.vector_fallback += fallback
+
+    def record_telemetry(self, frames: int, snapshots: int) -> None:
+        """Record a finished campaign's telemetry totals (frame count
+        and snapshot lines written) for the summary footer."""
+        self.telemetry_attached = True
+        self.telemetry_frames = frames
+        self.telemetry_snapshots = snapshots
 
     # ----------------------------------------------------------------- queries --
     @property
@@ -201,17 +215,26 @@ class ProgressTracker:
         table = format_table(
             ["source", "runs", "seconds"], rows, title="run summary"
         )
+        # Footer block: the labels are padded to one shared column so
+        # the sections align however many are present (zeros included).
+        footers: List[str] = []
         lookups = self.disk_hits + self.disk_misses
         if lookups:
-            table += (
-                f"\ndisk cache: {self.disk_hits}/{lookups} hits "
+            footers.append(
+                f"disk cache: {self.disk_hits}/{lookups} hits "
                 f"({100.0 * self.hit_rate:.1f}%)"
             )
         if self.events_captured or self.events_dropped:
-            table += "\n" + self.tracing_line()
+            footers.append(self.tracing_line())
         if self.vector_replayed or self.vector_fallback:
-            table += "\n" + self.vector_line()
-        table += "\n" + self.resilience_line()
+            footers.append(self.vector_line())
+        footers.append(self.resilience_line())
+        if self.telemetry_attached:
+            footers.append(self.telemetry_line())
+        width = max(len(line.split(":", 1)[0]) for line in footers)
+        for line in footers:
+            label, rest = line.split(":", 1)
+            table += f"\n{label:<{width}}:{rest}"
         return table
 
     def vector_line(self) -> str:
@@ -232,6 +255,14 @@ class ProgressTracker:
             f"{self.resumed} resumed from journal"
         )
 
+    def telemetry_line(self) -> str:
+        """One-line live-telemetry summary (only shown when a campaign
+        ran with telemetry attached; zeros stay visible)."""
+        return (
+            f"telemetry: {self.telemetry_frames} frames streamed, "
+            f"{self.telemetry_snapshots} snapshots written"
+        )
+
     def reset(self) -> None:
         """Drop all records and counters (new measurement window)."""
         self.records.clear()
@@ -247,6 +278,9 @@ class ProgressTracker:
         self.resumed = 0
         self.vector_replayed = 0
         self.vector_fallback = 0
+        self.telemetry_frames = 0
+        self.telemetry_snapshots = 0
+        self.telemetry_attached = False
 
 
 class _Timer:

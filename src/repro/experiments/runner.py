@@ -29,6 +29,7 @@ keep a full paper regeneration to minutes.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from pathlib import Path
 from typing import (
     Any,
@@ -56,6 +57,7 @@ from repro.inject.harness import TrialResult, TrialSpec, run_trial
 from repro.isa.program import Program
 from repro.obs.events import MACHINE, CampaignResumed
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry.emit import task_telemetry
 from repro.obs.tracer import Tracer
 from repro.resilience.journal import CompletionJournal, JournalRecord
 from repro.resilience.locks import KeyLock
@@ -160,6 +162,7 @@ class ExperimentRunner:
         journal_path: Optional[Union[str, Path]] = None,
         resume: bool = False,
         engine: str = "interp",
+        telemetry=None,
     ) -> None:
         check_positive("num_cores", num_cores)
         check_positive("region_scale", region_scale)
@@ -179,6 +182,10 @@ class ExperimentRunner:
             ResultCache(cache_dir) if cache_dir is not None else None
         )
         self.progress = progress if progress is not None else ProgressTracker()
+        #: Optional CampaignTelemetry: live frame streaming + snapshots.
+        #: None (the default) keeps every execution path frame-free and
+        #: byte-identical (pinned by test and benchmark guardrail).
+        self.telemetry = telemetry
         # -- supervised execution (repro.resilience) -----------------------
         self.resilience = resilience or ResiliencePolicy()
         self.resilience_metrics = MetricsRegistry()
@@ -331,7 +338,10 @@ class ExperimentRunner:
         one's entry instead of re-simulating)."""
 
         def execute() -> None:
-            with _Timer() as timer:
+            scope = self._task_scope(
+                f"{spec.workload}/inject:{spec.config}#{spec.seed}"
+            )
+            with scope, _Timer() as timer:
                 result = run_trial(spec, engine=self.engine)
             self._install_trial(spec, result, "sim", timer.seconds)
 
@@ -381,7 +391,7 @@ class ExperimentRunner:
             return memo
         if self.cache is not None:
             key = trial_cache_key(spec)
-            with _Timer() as timer:
+            with self._phase("cache-io"), _Timer() as timer:
                 payload = self.cache.load_payload(key, KIND_TRIAL)
                 cached: Optional[TrialResult] = None
                 if payload is not None:
@@ -414,7 +424,8 @@ class ExperimentRunner:
         self._trial_results[spec] = result
         key = trial_cache_key(spec)
         if self.cache is not None:
-            self.cache.store_payload(key, result.to_dict(), KIND_TRIAL)
+            with self._phase("cache-io"):
+                self.cache.store_payload(key, result.to_dict(), KIND_TRIAL)
         self._journal_done(
             key, KIND_TRIAL, f"{spec.workload}/inject:{spec.config}",
             attempts, seconds,
@@ -515,7 +526,7 @@ class ExperimentRunner:
             self.progress.record_memo()
             return memo
         if self.cache is not None:
-            with _Timer() as timer:
+            with self._phase("cache-io"), _Timer() as timer:
                 cached = self.cache.load(self.cache_key(workload, request))
             if cached is not None:
                 self._results[key] = cached
@@ -532,7 +543,8 @@ class ExperimentRunner:
         done: List[RunResult] = []
 
         def execute() -> None:
-            with _Timer() as timer:
+            scope = self._task_scope(f"{workload}/{request.config}")
+            with scope, _Timer() as timer:
                 sim = self.simulator(workload)
                 baseline = None
                 if not request.is_baseline:
@@ -581,10 +593,27 @@ class ExperimentRunner:
         self._results[(workload, request)] = result
         key = self.cache_key(workload, request)
         if self.cache is not None:
-            self.cache.store(key, result)
+            with self._phase("cache-io"):
+                self.cache.store(key, result)
         self._journal_done(
             key, KIND_RUN, f"{workload}/{request.config}", attempts, seconds
         )
+
+    # -- telemetry plumbing ---------------------------------------------------
+    def _task_scope(self, label: str):
+        """Wrap one inline task execution in its telemetry scope
+        (``task_started``/heartbeats/``task_finished`` straight into the
+        aggregator) — a no-op context when telemetry is off."""
+        if self.telemetry is None:
+            return nullcontext()
+        return task_telemetry(label, self.telemetry.on_frame)
+
+    def _phase(self, name: str):
+        """Time one parent-side phase (cache I/O happens in this
+        process even for pooled campaigns) on the campaign profiler."""
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.profiler.phase(name)
 
     # -- resilience plumbing -------------------------------------------------
     def _supervisor(self, jobs: int) -> Supervisor:
@@ -596,6 +625,7 @@ class ExperimentRunner:
             progress=self.progress,
             tracer=self.resilience_tracer,
             metrics=self.resilience_metrics,
+            telemetry=self.telemetry,
             hooks=self.supervisor_hooks,
         )
         self._active_supervisor = sup

@@ -85,6 +85,8 @@ from repro.obs.events import (
     RecoveryVerified,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import emit as _telemetry_mod
+from repro.obs.telemetry.frames import TaskHeartbeat
 from repro.obs.tracer import Tracer
 from repro.util.rng import DeterministicRng
 from repro.util.validation import check_in_range, check_positive
@@ -402,9 +404,13 @@ class _MechanismPass:
         self.snapshots: List[Dict[int, int]] = []
         self.arch_snapshots: List[List[Tuple[int, int, List[int]]]] = []
         self.steps = 0
+        self.n_instructions = 0
         self.ecc_lookup_hits = 0
         self._active = True
         self._corrupt_entries: Set[int] = set()
+        # Advisory heartbeat channel (repro.obs.telemetry): sampled once
+        # here so a disabled campaign pays a single module-global read.
+        self._telemetry = _telemetry_mod.telemetry_active()
 
     # -- the store path ------------------------------------------------------
     def _on_store(self, ev) -> None:
@@ -441,7 +447,8 @@ class _MechanismPass:
     def step(self) -> None:
         for it in self.interpreters:
             if not it.done:
-                it.step_iterations(self.spec.iters_per_step)
+                chunk = it.step_iterations(self.spec.iters_per_step)
+                self.n_instructions += chunk.instructions
         self.steps += 1
 
     def at_boundary(self) -> bool:
@@ -450,6 +457,12 @@ class _MechanismPass:
     def checkpoint(self) -> None:
         """Establish the next checkpoint (boundary protocol)."""
         time = self.steps / self.spec.steps_per_interval
+        if self._telemetry:
+            _telemetry_mod.emit(
+                TaskHeartbeat,
+                interval=len(self.snapshots),
+                instructions=self.n_instructions,
+            )
         self.snapshots.append(self.memory.snapshot())
         self.arch_snapshots.append(
             [it.arch_state() for it in self.interpreters]

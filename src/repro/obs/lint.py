@@ -1,11 +1,19 @@
-"""JSONL trace schema linter (library + ``python -m repro.obs.lint``).
+"""JSONL schema linter (library + ``python -m repro.obs.lint``).
 
-One trace event per line, each a JSON object with the wire ``name`` of
-a registered event type plus exactly that type's fields (see
-:data:`repro.obs.events.EVENT_TYPES`).  The CI smoke step runs this
-over a freshly exported trace so the JSONL contract cannot drift
-silently from the event dataclasses — the checks are derived from the
-dataclass fields, never hand-listed.
+One record per line, each a JSON object of one of three kinds, told
+apart by their discriminator key:
+
+* trace events — ``"name"`` from :data:`repro.obs.events.EVENT_TYPES`;
+* telemetry frames — ``"frame"`` from
+  :data:`repro.obs.telemetry.frames.FRAME_TYPES`;
+* telemetry snapshots — ``"kind": "telemetry-snapshot"`` with exactly
+  :data:`repro.obs.telemetry.snapshots.SNAPSHOT_FIELDS` plus the
+  version stamp.
+
+The CI smoke steps run this over freshly exported traces and telemetry
+streams so the JSONL contracts cannot drift silently from their
+dataclasses — the checks are derived from the dataclass fields (or the
+published field tuple), never hand-listed.
 """
 
 from __future__ import annotations
@@ -17,8 +25,21 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Type, Union
 
 from repro.obs.events import EVENT_TYPES, TraceEvent
+from repro.obs.telemetry.frames import frame_from_dict
+from repro.obs.telemetry.snapshots import (
+    SNAPSHOT_FIELDS,
+    SNAPSHOT_KIND,
+    TELEMETRY_SCHEMA_VERSION,
+)
 
-__all__ = ["lint_event_dict", "lint_jsonl", "main"]
+__all__ = [
+    "lint_event_dict",
+    "lint_frame_dict",
+    "lint_snapshot_dict",
+    "lint_record",
+    "lint_jsonl",
+    "main",
+]
 
 #: Per-event required keys (the wire name plus every dataclass field).
 _SCHEMAS: Dict[str, Tuple[Type[TraceEvent], frozenset]] = {
@@ -50,8 +71,52 @@ def lint_event_dict(obj: object, where: str = "event") -> List[str]:
     return errors
 
 
+def lint_frame_dict(obj: object, where: str = "frame") -> List[str]:
+    """Problems with one telemetry-frame object (empty == valid).
+
+    Delegates to the strict receiver-side decoder so the linter and the
+    campaign aggregator can never disagree about what a valid frame is.
+    """
+    try:
+        frame_from_dict(obj)
+    except ValueError as exc:
+        return [f"{where}: {exc}"]
+    return []
+
+
+def lint_snapshot_dict(obj: object, where: str = "snapshot") -> List[str]:
+    """Problems with one telemetry-snapshot object (empty == valid)."""
+    if not isinstance(obj, dict):
+        return [f"{where}: not a JSON object"]
+    errors: List[str] = []
+    version = obj.get("v")
+    if version != TELEMETRY_SCHEMA_VERSION:
+        errors.append(
+            f"{where}: snapshot version {version!r} != "
+            f"{TELEMETRY_SCHEMA_VERSION}"
+        )
+    required = set(SNAPSHOT_FIELDS)
+    present = set(obj) - {"v", "kind"}
+    for missing in sorted(required - present):
+        errors.append(f"{where}: snapshot missing field {missing!r}")
+    for extra in sorted(present - required):
+        errors.append(f"{where}: snapshot has unknown field {extra!r}")
+    return errors
+
+
+def lint_record(obj: object, where: str = "record") -> List[str]:
+    """Dispatch one decoded JSONL object to its kind's linter."""
+    if isinstance(obj, dict):
+        if "frame" in obj:
+            return lint_frame_dict(obj, where)
+        if obj.get("kind") == SNAPSHOT_KIND:
+            return lint_snapshot_dict(obj, where)
+    return lint_event_dict(obj, where)
+
+
 def lint_jsonl(path: Union[str, Path]) -> Tuple[int, List[str]]:
-    """Lint a JSONL trace file; returns ``(event_count, problems)``."""
+    """Lint a JSONL file (events, frames and/or snapshots may be mixed);
+    returns ``(record_count, problems)``."""
     path = Path(path)
     errors: List[str] = []
     count = 0
@@ -69,7 +134,7 @@ def lint_jsonl(path: Union[str, Path]) -> Tuple[int, List[str]]:
             errors.append(f"{path}:{lineno}: invalid JSON: {exc.msg}")
             continue
         count += 1
-        errors.extend(lint_event_dict(obj, where=f"{path}:{lineno}"))
+        errors.extend(lint_record(obj, where=f"{path}:{lineno}"))
     return count, errors
 
 
@@ -77,7 +142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI: lint each given JSONL file; exit 1 on any problem."""
     paths = sys.argv[1:] if argv is None else argv
     if not paths:
-        print("usage: python -m repro.obs.lint TRACE.jsonl [...]",
+        print("usage: python -m repro.obs.lint RECORDS.jsonl [...]",
               file=sys.stderr)
         return 2
     failed = False
@@ -88,7 +153,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if errors:
             failed = True
         else:
-            print(f"{path}: ok ({count} events)")
+            print(f"{path}: ok ({count} records)")
     return 1 if failed else 0
 
 

@@ -1,0 +1,115 @@
+"""Ambient per-process frame emission.
+
+The simulator's hot path cannot thread a telemetry handle through every
+call site (and must not ride on the :class:`~repro.obs.tracer.Tracer`
+channel — attaching a tracer forces the classic engine and bypasses the
+result cache).  Instead, emission is *ambient*: the execution harness
+installs a sink + task label around one task's execution
+(:func:`task_telemetry`), and instrumented code calls :func:`emit`,
+which is a no-op returning immediately while no sink is installed.
+Runs therefore behave byte-identically with telemetry disabled — the
+only residue is one hoisted ``is None`` check per hook site, pinned
+under 2% by the benchmark guardrail.
+
+Sinks are advisory by contract: any exception a sink raises (a full
+pipe, a dead parent) is swallowed here so a telemetry failure can never
+perturb — let alone kill — the task it is observing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, Type
+
+from repro.obs.telemetry.frames import (
+    TaskFinished,
+    TaskStarted,
+    TelemetryFrame,
+)
+
+__all__ = [
+    "FrameSink",
+    "telemetry_active",
+    "current_task",
+    "emit",
+    "frame_context",
+    "task_telemetry",
+]
+
+FrameSink = Callable[[TelemetryFrame], None]
+
+#: The installed sink (None = telemetry disabled for this process) and
+#: the label of the task currently executing under it.
+_SINK: Optional[FrameSink] = None
+_TASK: str = ""
+
+
+def telemetry_active() -> bool:
+    """Whether a frame sink is installed (hoist this per run)."""
+    return _SINK is not None
+
+
+def current_task() -> str:
+    """The active task label ("" outside any task context)."""
+    return _TASK
+
+
+def emit(cls: Type[TelemetryFrame], **fields: Any) -> None:
+    """Build and deliver one frame — a no-op when no sink is installed.
+
+    ``ts_s``/``task`` are stamped here; callers supply only the frame's
+    own fields.  Sink exceptions are swallowed (advisory contract).
+    """
+    sink = _SINK
+    if sink is None:
+        return
+    frame = cls(ts_s=time.time(), task=_TASK, **fields)
+    try:
+        sink(frame)
+    except Exception:
+        pass
+
+
+@contextmanager
+def frame_context(label: str, sink: Optional[FrameSink]) -> Iterator[None]:
+    """Install ``sink`` (and the task label) for the duration; nests."""
+    global _SINK, _TASK
+    prev = (_SINK, _TASK)
+    _SINK, _TASK = sink, label
+    try:
+        yield
+    finally:
+        _SINK, _TASK = prev
+
+
+@contextmanager
+def task_telemetry(label: str, sink: Optional[FrameSink]) -> Iterator[Any]:
+    """One task's full telemetry scope.
+
+    Installs the sink, emits ``task_started``, activates a fresh
+    :class:`~repro.obs.telemetry.profile.PhaseProfiler` (yielded), and
+    on exit — success *or* exception — emits ``task_finished`` carrying
+    the wall seconds and the profiler's per-phase attribution, then
+    restores the previous ambient state.
+    """
+    from repro.obs.telemetry.profile import PhaseProfiler, activate
+
+    profiler = PhaseProfiler()
+    t0 = time.perf_counter()
+    ok = False
+    with frame_context(label, sink):
+        emit(TaskStarted, pid=os.getpid())
+        try:
+            with activate(profiler):
+                yield profiler
+            ok = True
+        finally:
+            emit(
+                TaskFinished,
+                ok=ok,
+                seconds=time.perf_counter() - t0,
+                phase_seconds=dict(profiler.seconds),
+                phase_counts=dict(profiler.counts),
+            )

@@ -24,12 +24,36 @@ tolerance):
 from __future__ import annotations
 
 import json
+import os
 import warnings
 from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Dict, Union
 
-__all__ = ["JOURNAL_SCHEMA_VERSION", "JournalRecord", "CompletionJournal"]
+__all__ = [
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalRecord",
+    "CompletionJournal",
+    "tail_is_torn",
+]
+
+
+def tail_is_torn(path: Union[str, Path]) -> bool:
+    """Whether ``path`` ends mid-record (a crash tore the final line).
+
+    Every committed append ends with a newline, so a file whose last
+    byte is not ``\\n`` was torn; the next append must then start on a
+    fresh line or it would merge into — and corrupt — the torn tail.
+    """
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() == 0:
+                return False
+            fh.seek(-1, os.SEEK_END)
+            return fh.read(1) != b"\n"
+    except OSError:
+        return False
 
 #: Bump when the record layout changes; old journals are then ignored
 #: (with a warning) rather than misread.
@@ -107,9 +131,16 @@ class CompletionJournal:
     # ------------------------------------------------------------------ write --
     def append(self, record: JournalRecord) -> None:
         """Durably append one completion record (atomic at line level:
-        a single ``O_APPEND`` write of one terminated line)."""
+        a single ``O_APPEND`` write of one terminated line).
+
+        A torn tail left by a crash mid-append is repaired first — the
+        new record starts on a fresh line, so the tear costs exactly the
+        one half-written record, never the one after it too.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
+        if tail_is_torn(self.path):
+            line = "\n" + line
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(line)
             fh.flush()

@@ -34,6 +34,7 @@ import heapq
 import multiprocessing
 import time
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait as _conn_wait
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -44,6 +45,7 @@ from repro.obs.events import (
     TaskRetried,
     WorkerDied,
 )
+from repro.obs.telemetry.emit import task_telemetry
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.report import (
     OUTCOME_ERROR,
@@ -107,6 +109,13 @@ def _worker_loop(conn: Connection) -> None:
 
     Task exceptions are *reported*, never fatal — the worker stays up;
     only a ``None`` sentinel (or a closed pipe) ends the loop.
+
+    Messages in are ``(task_id, fn, payload, telemetry_label_or_None)``;
+    messages out are tagged tuples — ``("frame", task_id, frame_dict)``
+    streamed mid-execution when a telemetry label was supplied, then one
+    ``("done", task_id, ok, result_or_err, seconds)``.  Frames ride the
+    same pipe the result does, so ordering is inherent and a frame can
+    never outlive its task's reply.
     """
     while True:
         try:
@@ -115,13 +124,25 @@ def _worker_loop(conn: Connection) -> None:
             break
         if msg is None:
             break
-        task_id, fn, payload = msg
+        task_id, fn, payload, label = msg
+
+        def _sink(frame, _task_id=task_id):
+            # emit() swallows sink exceptions, so a parent that went
+            # away mid-stream cannot crash the task it was watching.
+            conn.send(("frame", _task_id, frame.to_dict()))
+
+        scope = (
+            task_telemetry(label, _sink) if label is not None
+            else nullcontext()
+        )
         t0 = time.perf_counter()
         try:
-            result = fn(payload)
-            reply = (task_id, True, result, time.perf_counter() - t0)
+            with scope:
+                result = fn(payload)
+            reply = ("done", task_id, True, result, time.perf_counter() - t0)
         except BaseException as exc:
             reply = (
+                "done",
                 task_id,
                 False,
                 f"{type(exc).__name__}: {exc}",
@@ -153,8 +174,12 @@ class _Worker:
     def busy(self) -> bool:
         return self.state is not None
 
-    def assign(self, task_id: int, state: _TaskState, timeout_s) -> None:
-        self.conn.send((task_id, state.task.fn, state.task.payload))
+    def assign(
+        self, task_id: int, state: _TaskState, timeout_s,
+        telemetry: bool = False,
+    ) -> None:
+        label = state.task.label if telemetry else None
+        self.conn.send((task_id, state.task.fn, state.task.payload, label))
         self.state = state
         self.deadline = (
             time.monotonic() + timeout_s if timeout_s is not None else None
@@ -208,7 +233,13 @@ class Supervisor:
     (or None), ``metrics`` a :class:`~repro.obs.metrics.MetricsRegistry`
     accumulating ``resilience.*`` counters, ``tracer`` an
     :class:`~repro.obs.tracer.Tracer` receiving ``task_retried`` /
-    ``worker_died`` / ``pool_degraded`` events.  ``hooks`` is a test/ops
+    ``worker_died`` / ``pool_degraded`` events.  ``telemetry`` (a
+    :class:`~repro.obs.telemetry.aggregate.CampaignTelemetry`, or None
+    to disable — the default) turns on live frame streaming: workers
+    are told their task label, wrap execution in
+    :func:`~repro.obs.telemetry.emit.task_telemetry`, and stream frames
+    up their result pipe; the parent folds them into the aggregator and
+    reports pool gauges once per sweep.  ``hooks`` is a test/ops
     escape hatch: ``on_dispatch(worker, task)`` fires after each
     dispatch (chaos tests SIGKILL the worker here), ``on_result(task)``
     after each completion (chaos tests raise ``KeyboardInterrupt``).
@@ -221,6 +252,7 @@ class Supervisor:
         progress=None,
         tracer=None,
         metrics=None,
+        telemetry=None,
         hooks: Optional[Dict[str, Callable]] = None,
         tick_s: float = 0.05,
     ) -> None:
@@ -230,6 +262,7 @@ class Supervisor:
         self.progress = progress
         self.tracer = tracer
         self.metrics = metrics
+        self.telemetry = telemetry
         self.hooks = hooks or {}
         self.tick_s = tick_s
         self.failure_report = FailureReport()
@@ -306,6 +339,12 @@ class Supervisor:
                     )
                     self._dispatch(pending, ids)
                     self._collect(by_id, pending, waiting, on_complete)
+                if self.telemetry is not None:
+                    self.telemetry.update_pool(
+                        len(self._workers),
+                        sum(1 for w in self._workers if w.busy),
+                        len(pending) + len(waiting),
+                    )
                 seq = self._requeue_failures(states, pending, waiting, seq)
         except KeyboardInterrupt:
             # Flush is structural: completed tasks already ran
@@ -337,7 +376,10 @@ class Supervisor:
         while pending and (idle := self._idle_worker()) is not None:
             state = pending.popleft()
             try:
-                idle.assign(ids[id(state)], state, self.policy.timeout_s)
+                idle.assign(
+                    ids[id(state)], state, self.policy.timeout_s,
+                    telemetry=self.telemetry is not None,
+                )
             except OSError:
                 idle.release()
                 idle.kill()
@@ -365,12 +407,21 @@ class Supervisor:
         by_conn = {w.conn: w for w in self._workers}
         for conn in ready:
             worker = by_conn[conn]
-            try:
-                msg = conn.recv()
-            except (EOFError, OSError):
-                self._on_worker_death(worker)
-                continue
-            self._on_reply(worker, by_id, msg, on_complete)
+            # Drain the pipe: any number of streamed telemetry frames
+            # may precede (or stand in place of) a tagged result.
+            while True:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    self._on_worker_death(worker)
+                    break
+                if isinstance(msg, tuple) and msg and msg[0] == "frame":
+                    self._on_frame(worker, msg[2])
+                    if conn.poll():
+                        continue
+                    break
+                self._on_reply(worker, by_id, msg, on_complete)
+                break
         now = time.monotonic()
         for worker in list(self._workers):
             if not worker.busy:
@@ -382,8 +433,19 @@ class Supervisor:
             elif worker.deadline is not None and now >= worker.deadline:
                 self._on_timeout(worker)
 
+    def _on_frame(self, worker, doc) -> None:
+        """Fold one worker-streamed telemetry frame into the aggregator
+        (dropped silently when telemetry was turned off mid-flight)."""
+        if self.telemetry is None:
+            return
+        try:
+            index = self._workers.index(worker)
+        except ValueError:
+            index = -1
+        self.telemetry.on_frame_dict(doc, worker=index)
+
     def _on_reply(self, worker, by_id, msg, on_complete) -> None:
-        task_id, ok, payload, seconds = msg
+        _tag, task_id, ok, payload, seconds = msg
         state = worker.release()
         if state is None or by_id.get(task_id) is not state:
             return  # stale reply from a recycled assignment
@@ -568,9 +630,15 @@ class Supervisor:
                 )
             return
         state = pending.popleft()
+        scope = (
+            task_telemetry(state.task.label, self.telemetry.on_frame)
+            if self.telemetry is not None
+            else nullcontext()
+        )
         t0 = time.perf_counter()
         try:
-            result = state.task.fn(state.task.payload)
+            with scope:
+                result = state.task.fn(state.task.payload)
         except KeyboardInterrupt:
             raise
         except BaseException as exc:

@@ -69,6 +69,9 @@ from repro.obs.events import (
     RecoveryEnd,
 )
 from repro.obs.metrics import MetricsRegistry, ObsReport
+from repro.obs.telemetry import emit as _telemetry_mod
+from repro.obs.telemetry import profile as _profile
+from repro.obs.telemetry.frames import MetricsDelta, TaskHeartbeat
 from repro.obs.tracer import Tracer
 from repro.sim.machine import Machine
 from repro.sim.vector.engine import VectorCoreRunner
@@ -239,17 +242,25 @@ class _Run:
         )
         observing = self.trace is not None or self.metrics is not None
 
+        # Telemetry rides a separate ambient channel (never the Tracer —
+        # that would force the classic engine and bypass the cache);
+        # hoist the enabled-check so disabled runs stay byte-identical.
+        self._telemetry = _telemetry_mod.telemetry_active()
+
         # Compile (ACR) or use the plain programs.
         self.compile_stats: Optional[CompileStats] = None
         if options.acr:
-            policy = options.slice_policy or ThresholdPolicy()
-            compiled = [_compile_cached(p, policy) for p in sim.programs]
-            self.programs = [c.program for c in compiled]
-            tables = [c.slices for c in compiled]
-            self.compile_stats = _sum_compile_stats([c.stats for c in compiled])
-            self.handler: Optional[AcrCheckpointHandler] = AcrCheckpointHandler(
-                self.config, tables
-            )
+            with _profile.phase("compile"):
+                policy = options.slice_policy or ThresholdPolicy()
+                compiled = [_compile_cached(p, policy) for p in sim.programs]
+                self.programs = [c.program for c in compiled]
+                tables = [c.slices for c in compiled]
+                self.compile_stats = _sum_compile_stats(
+                    [c.stats for c in compiled]
+                )
+                self.handler: Optional[AcrCheckpointHandler] = (
+                    AcrCheckpointHandler(self.config, tables)
+                )
         else:
             self.programs = sim.programs
             self.handler = None
@@ -488,6 +499,24 @@ class _Run:
                 footprint_bytes=len(self.machine.memory) * 8,
             )
         )
+        if self._telemetry:
+            # Interval boundaries are the simulator's natural heartbeat:
+            # one liveness frame plus the closing interval's counters.
+            _telemetry_mod.emit(
+                TaskHeartbeat,
+                interval=index,
+                instructions=self.n_instructions,
+            )
+            _telemetry_mod.emit(
+                MetricsDelta,
+                interval=index,
+                counters={
+                    "logged_records": len(log.records),
+                    "omitted_records": len(log.omitted),
+                    "logged_bytes": log.logged_bytes,
+                    "flushed_bytes": flushed_bytes,
+                },
+            )
         if observing:
             if self.trace is not None:
                 self.trace.emit(IntervalBoundary(
@@ -605,8 +634,9 @@ class _Run:
         n = self.config.num_cores
 
         if not self.ckpt_enabled:
-            for core in range(n):
-                self._run_core_to_completion(core)
+            with _profile.phase("simulate"):
+                for core in range(n):
+                    self._run_core_to_completion(core)
             return self._finish()
 
         profile = options.baseline
@@ -638,22 +668,28 @@ class _Run:
             )
         events.sort(key=lambda e: (e[0], e[1]))
 
-        for frac, _prio, payload in events:
-            for core in range(n):
-                self._run_core_to(core, frac * per_core_total[core])
-            if payload[0] == "ckpt":
-                self._do_checkpoint(frac * useful_max)
-            else:
-                _, idx, occurred_ns, detected_ns = payload
-                self._do_recovery(idx, occurred_ns, detected_ns)
+        with _profile.phase("simulate"):
+            for frac, _prio, payload in events:
+                for core in range(n):
+                    self._run_core_to(core, frac * per_core_total[core])
+                if payload[0] == "ckpt":
+                    self._do_checkpoint(frac * useful_max)
+                else:
+                    _, idx, occurred_ns, detected_ns = payload
+                    self._do_recovery(idx, occurred_ns, detected_ns)
 
-        # Drain any remainder (rounding in per-core targets).
-        for core in range(n):
-            self._run_core_to_completion(core)
+            # Drain any remainder (rounding in per-core targets).
+            for core in range(n):
+                self._run_core_to_completion(core)
         return self._finish()
 
     # ------------------------------------------------------------ accounting --
     def _finish(self) -> RunResult:
+        """Flush accounting and assemble, under the accounting phase."""
+        with _profile.phase("accounting"):
+            return self._finish_impl()
+
+    def _finish_impl(self) -> RunResult:
         """Flush bulk energy accounting and build the RunResult."""
         machine = self.machine
         ledger = machine.ledger

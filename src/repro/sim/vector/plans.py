@@ -33,6 +33,8 @@ from __future__ import annotations
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, cast
 from weakref import WeakKeyDictionary
 
+from repro.obs.telemetry.profile import phase as _phase
+
 try:  # numpy accelerates large-trip plan evaluation; plans work without it
     import numpy as np
 except ImportError:  # pragma: no cover - numpy-less installs
@@ -749,13 +751,14 @@ class ProgramPlans:
         """The plan for one kernel (built on first use, then cached)."""
         plan = self._plans.get(kernel_index)
         if plan is None:
-            plan = _build_plan(
-                self.program.kernels[kernel_index],
-                self.seed,
-                self.line_bytes,
-                program=self.program,
-                kernel_index=kernel_index,
-            )
+            with _phase("plan-build"):
+                plan = _build_plan(
+                    self.program.kernels[kernel_index],
+                    self.seed,
+                    self.line_bytes,
+                    program=self.program,
+                    kernel_index=kernel_index,
+                )
             self._plans[kernel_index] = plan
         return plan
 

@@ -28,7 +28,10 @@ class TestProgressTracker:
         assert tracker.events_dropped == 5
         line = tracker.tracing_line()
         assert line == "trace: 150 events captured / 5 dropped"
-        assert line in tracker.summary_table()
+        # The summary pads footer labels to one shared column ("trace"
+        # aligns with "resilience"), so match on the padded form.
+        label, rest = line.split(":", 1)
+        assert f"{label:<10}:{rest}" in tracker.summary_table()
 
     def test_reset_clears_tracing_counters(self):
         tracker = ProgressTracker()

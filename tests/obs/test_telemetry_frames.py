@@ -1,0 +1,185 @@
+"""Telemetry frame contracts: round-trip, strict decode, ambient emit."""
+
+import pytest
+
+from repro.obs.telemetry.emit import (
+    current_task,
+    emit,
+    frame_context,
+    task_telemetry,
+    telemetry_active,
+)
+from repro.obs.telemetry.frames import (
+    FRAME_TYPES,
+    MetricsDelta,
+    PhaseChanged,
+    TaskFinished,
+    TaskHeartbeat,
+    TaskStarted,
+    frame_from_dict,
+)
+
+SAMPLES = {
+    "task_started": TaskStarted(ts_s=1.5, task="bt/ReCkpt_E", pid=42),
+    "task_heartbeat": TaskHeartbeat(
+        ts_s=2.0, task="bt/ReCkpt_E", interval=3, instructions=1000
+    ),
+    "phase_changed": PhaseChanged(ts_s=2.5, task="bt/ReCkpt_E",
+                                  phase="simulate"),
+    "metrics_delta": MetricsDelta(
+        ts_s=3.0, task="bt/ReCkpt_E", interval=3,
+        counters={"logged_records": 7, "logged_bytes": 112},
+    ),
+    "task_finished": TaskFinished(
+        ts_s=4.0, task="bt/ReCkpt_E", ok=True, seconds=2.5,
+        phase_seconds={"simulate": 2.0, "compile": 0.5},
+        phase_counts={"simulate": 1, "compile": 1},
+    ),
+}
+
+
+class TestRoundTrip:
+    def test_samples_cover_every_registered_frame_type(self):
+        assert set(SAMPLES) == set(FRAME_TYPES)
+
+    @pytest.mark.parametrize("name", sorted(FRAME_TYPES))
+    def test_to_dict_from_dict_round_trip(self, name):
+        frame = SAMPLES[name]
+        doc = frame.to_dict()
+        assert doc["frame"] == name
+        assert frame_from_dict(doc) == frame
+
+    def test_wire_dicts_use_frame_not_name(self):
+        # The shared JSONL linter dispatches on the discriminator key:
+        # trace events use "name", frames must use "frame".
+        for frame in SAMPLES.values():
+            doc = frame.to_dict()
+            assert "frame" in doc
+            assert "name" not in doc
+
+
+class TestStrictDecode:
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="not an object"):
+            frame_from_dict(["task_started"])
+
+    def test_unknown_frame_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown frame name"):
+            frame_from_dict({"frame": "task_vanished", "ts_s": 0.0,
+                             "task": "x"})
+
+    def test_missing_field_rejected(self):
+        doc = SAMPLES["task_started"].to_dict()
+        del doc["pid"]
+        with pytest.raises(ValueError, match="fields"):
+            frame_from_dict(doc)
+
+    def test_extra_field_rejected(self):
+        doc = SAMPLES["task_heartbeat"].to_dict()
+        doc["surprise"] = 1
+        with pytest.raises(ValueError, match="fields"):
+            frame_from_dict(doc)
+
+    def test_bool_is_not_an_int(self):
+        doc = SAMPLES["task_heartbeat"].to_dict()
+        doc["interval"] = True
+        with pytest.raises(ValueError, match="must be an int"):
+            frame_from_dict(doc)
+
+    def test_ok_must_be_a_bool(self):
+        doc = SAMPLES["task_finished"].to_dict()
+        doc["ok"] = 1
+        with pytest.raises(ValueError, match="must be a bool"):
+            frame_from_dict(doc)
+
+    def test_task_must_be_a_string(self):
+        doc = SAMPLES["phase_changed"].to_dict()
+        doc["task"] = 7
+        with pytest.raises(ValueError, match="must be a string"):
+            frame_from_dict(doc)
+
+    def test_counters_values_must_be_ints(self):
+        doc = SAMPLES["metrics_delta"].to_dict()
+        doc["counters"] = {"logged_records": "seven"}
+        with pytest.raises(ValueError, match="values must be numbers"):
+            frame_from_dict(doc)
+
+    def test_phase_seconds_accepts_floats(self):
+        doc = SAMPLES["task_finished"].to_dict()
+        doc["phase_seconds"] = {"simulate": 2}
+        assert frame_from_dict(doc).phase_seconds == {"simulate": 2.0}
+
+
+class TestAmbientEmit:
+    def test_disabled_by_default(self):
+        assert telemetry_active() is False
+        assert current_task() == ""
+        emit(TaskStarted, pid=1)  # must be a silent no-op
+
+    def test_emit_stamps_time_and_task(self):
+        frames = []
+        with frame_context("bt/Ckpt_E", frames.append):
+            assert telemetry_active() is True
+            assert current_task() == "bt/Ckpt_E"
+            emit(TaskHeartbeat, interval=0, instructions=10)
+        assert telemetry_active() is False
+        [frame] = frames
+        assert frame.task == "bt/Ckpt_E"
+        assert frame.interval == 0
+        assert frame.ts_s > 0
+
+    def test_contexts_nest_and_restore(self):
+        outer, inner = [], []
+        with frame_context("outer", outer.append):
+            with frame_context("inner", inner.append):
+                emit(PhaseChanged, phase="simulate")
+            emit(PhaseChanged, phase="accounting")
+        assert [f.task for f in inner] == ["inner"]
+        assert [f.task for f in outer] == ["outer"]
+
+    def test_sink_exceptions_are_swallowed(self):
+        def broken(frame):
+            raise BrokenPipeError("parent went away")
+
+        with frame_context("t", broken):
+            emit(TaskStarted, pid=1)  # must not raise
+
+
+class TestTaskTelemetry:
+    def test_emits_started_and_finished(self):
+        frames = []
+        with task_telemetry("is/ReCkpt_E", frames.append):
+            pass
+        assert [type(f).__name__ for f in frames] == [
+            "TaskStarted", "TaskFinished",
+        ]
+        assert frames[1].ok is True
+        assert frames[1].seconds >= 0.0
+
+    def test_finished_carries_profiler_attribution(self):
+        from repro.obs.telemetry import profile
+
+        frames = []
+        with task_telemetry("t", frames.append):
+            with profile.phase("simulate"):
+                pass
+        finished = frames[-1]
+        assert finished.phase_counts == {"simulate": 1}
+        assert set(finished.phase_seconds) == {"simulate"}
+        # Entering the phase also announced it as a frame.
+        assert any(
+            isinstance(f, PhaseChanged) and f.phase == "simulate"
+            for f in frames
+        )
+
+    def test_exception_reports_ok_false_and_propagates(self):
+        frames = []
+        with pytest.raises(RuntimeError):
+            with task_telemetry("t", frames.append):
+                raise RuntimeError("boom")
+        assert frames[-1].ok is False
+        assert telemetry_active() is False
+
+    def test_none_sink_disables_emission_entirely(self):
+        with task_telemetry("t", None):
+            assert telemetry_active() is False

@@ -1,0 +1,93 @@
+"""Phase profiler: accumulation, ambient activation, attribution."""
+
+from repro.obs.telemetry import profile
+from repro.obs.telemetry.profile import PHASES, PhaseProfiler
+
+
+class TestPhaseProfiler:
+    def test_add_accumulates_seconds_and_counts(self):
+        prof = PhaseProfiler()
+        prof.add("simulate", 1.0)
+        prof.add("simulate", 0.5)
+        prof.add("compile", 0.25, n=3)
+        assert prof.seconds == {"simulate": 1.5, "compile": 0.25}
+        assert prof.counts == {"simulate": 2, "compile": 3}
+        assert prof.total_seconds == 1.75
+
+    def test_merge_folds_another_profilers_totals(self):
+        prof = PhaseProfiler()
+        prof.add("simulate", 1.0)
+        prof.merge({"simulate": 2.0, "cache-io": 0.5},
+                   {"simulate": 4, "cache-io": 1})
+        assert prof.seconds == {"simulate": 3.0, "cache-io": 0.5}
+        assert prof.counts == {"simulate": 5, "cache-io": 1}
+
+    def test_merge_without_counts(self):
+        prof = PhaseProfiler()
+        prof.merge({"accounting": 0.1})
+        assert prof.counts == {}
+        assert prof.seconds == {"accounting": 0.1}
+
+    def test_phase_context_times_the_body(self):
+        prof = PhaseProfiler()
+        with prof.phase("plan-build"):
+            pass
+        assert prof.counts == {"plan-build": 1}
+        assert prof.seconds["plan-build"] >= 0.0
+
+    def test_phase_records_even_when_body_raises(self):
+        prof = PhaseProfiler()
+        try:
+            with prof.phase("simulate"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert prof.counts == {"simulate": 1}
+
+    def test_attribution_table_orders_largest_first(self):
+        prof = PhaseProfiler()
+        prof.add("compile", 0.1)
+        prof.add("simulate", 0.9)
+        table = prof.attribution_table()
+        assert table.index("simulate") < table.index("compile")
+        assert "TOTAL" in table
+        assert "90.0%" in table
+
+    def test_attribution_table_empty_is_renderable(self):
+        table = PhaseProfiler().attribution_table()
+        assert "TOTAL" in table
+        assert "n/a" in table
+
+
+class TestAmbientProfile:
+    def test_inactive_phase_is_free(self):
+        assert profile.active() is None
+        with profile.phase("simulate"):
+            pass  # no profiler installed: nothing recorded, no error
+        profile.count("simulate")
+
+    def test_activate_installs_and_restores(self):
+        prof = PhaseProfiler()
+        with profile.activate(prof):
+            assert profile.active() is prof
+            with profile.phase("cache-io"):
+                pass
+            profile.count("cache-io", 2)
+        assert profile.active() is None
+        assert prof.counts == {"cache-io": 3}
+
+    def test_activation_nests_inner_shadows_outer(self):
+        outer, inner = PhaseProfiler(), PhaseProfiler()
+        with profile.activate(outer):
+            with profile.activate(inner):
+                with profile.phase("simulate"):
+                    pass
+            with profile.phase("accounting"):
+                pass
+        assert inner.counts == {"simulate": 1}
+        assert outer.counts == {"accounting": 1}
+
+    def test_phase_vocabulary_is_the_documented_five(self):
+        assert PHASES == (
+            "compile", "plan-build", "simulate", "accounting", "cache-io"
+        )

@@ -1,0 +1,128 @@
+"""Supervisor telemetry streaming: frames over worker pipes, chaos.
+
+Task functions are module-level (they cross the worker pipe by
+reference).  Emission inside them is ambient — the worker loop installs
+the pipe sink around each execution — so the same functions prove both
+directions: frames stream when a :class:`CampaignTelemetry` is attached,
+and the very same code runs silent (``telemetry_active() is False``)
+when it is not.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.obs.telemetry.aggregate import CampaignTelemetry
+from repro.obs.telemetry.emit import emit, telemetry_active
+from repro.obs.telemetry.frames import TaskHeartbeat
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.supervisor import SupervisedTask, Supervisor
+
+chaos = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"),
+    reason="chaos tests need SIGKILL",
+)
+
+
+# ------------------------------------------------------------- task functions
+def _beating_task(n):
+    """Emit a few heartbeats, report whether telemetry was active."""
+    for i in range(3):
+        emit(TaskHeartbeat, interval=i, instructions=(i + 1) * 100)
+    return (telemetry_active(), n * n)
+
+
+def _suicide_once_then_beat(payload):
+    marker, value = payload
+    emit(TaskHeartbeat, interval=0, instructions=100)
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("killed\n")
+        os.kill(os.getpid(), signal.SIGKILL)
+    emit(TaskHeartbeat, interval=1, instructions=200)
+    return value
+
+
+def _tasks(fn, payloads):
+    return [
+        SupervisedTask(key=f"task-{i:02x}", fn=fn, payload=p, label=f"t{i}")
+        for i, p in enumerate(payloads)
+    ]
+
+
+def _fast_policy(**kw):
+    kw.setdefault("max_retries", 2)
+    kw.setdefault("backoff_base_s", 0.01)
+    kw.setdefault("timeout_s", 30.0)
+    return ResiliencePolicy(**kw)
+
+
+def test_frames_stream_through_worker_pipes():
+    telemetry = CampaignTelemetry()
+    with Supervisor(jobs=2, telemetry=telemetry) as sup:
+        results = sup.run(_tasks(_beating_task, [2, 3, 4]))
+    # Every task saw an installed sink inside the worker process ...
+    assert all(active for active, _ in results.values())
+    assert sorted(sq for _, sq in results.values()) == [4, 9, 16]
+    # ... and its lifecycle + heartbeats reached the parent aggregator.
+    assert telemetry.tasks_started == 3
+    assert telemetry.tasks_finished == 3
+    assert telemetry.malformed == 0
+    assert telemetry.active == {}
+    # 3 tasks x (started + 3 heartbeats + finished), phase frames aside.
+    assert telemetry.frames >= 15
+    assert telemetry.counters["instructions"] == 3 * 300
+    assert telemetry.metrics.counter("telemetry.heartbeats").value == 9
+    # Pool gauges were reported by the supervisor sweep.
+    assert telemetry.workers == 2
+
+
+def test_no_telemetry_means_no_sink_in_workers():
+    with Supervisor(jobs=2) as sup:
+        results = sup.run(_tasks(_beating_task, [5]))
+    [(active, sq)] = results.values()
+    assert active is False  # emit() was a no-op inside the worker
+    assert sq == 25
+
+
+def test_results_identical_with_and_without_telemetry():
+    with Supervisor(jobs=2) as sup:
+        plain = sup.run(_tasks(_beating_task, [2, 3]))
+    with Supervisor(jobs=2, telemetry=CampaignTelemetry()) as sup:
+        streamed = sup.run(_tasks(_beating_task, [2, 3]))
+    assert {k: v[1] for k, v in plain.items()} == {
+        k: v[1] for k, v in streamed.items()
+    }
+
+
+@chaos
+def test_sigkilled_worker_mid_stream_campaign_survives(tmp_path):
+    telemetry = CampaignTelemetry()
+    marker = str(tmp_path / "killed.marker")
+    with Supervisor(
+        policy=_fast_policy(), jobs=2, telemetry=telemetry
+    ) as sup:
+        results = sup.run(_tasks(_suicide_once_then_beat, [(marker, 99)]))
+    assert results["task-00"] == 99
+    # The killed attempt streamed its started frame (and maybe a beat)
+    # before dying; the retry completed the lifecycle.  No stale entry
+    # may survive and nothing may read as malformed.
+    assert telemetry.tasks_started >= 2
+    assert telemetry.tasks_finished == 1
+    assert telemetry.malformed == 0
+    assert telemetry.active == {}
+
+
+def test_degraded_serial_path_still_streams_frames():
+    telemetry = CampaignTelemetry()
+    sup = Supervisor(jobs=2, telemetry=telemetry)
+    sup._degrade()  # trip the breaker directly: pure-serial execution
+    with sup:
+        results = sup.run(_tasks(_beating_task, [6]))
+    [(active, sq)] = results.values()
+    assert active is True  # the serial scope installs the sink in-process
+    assert sq == 36
+    assert telemetry.tasks_started == 1
+    assert telemetry.tasks_finished == 1
+    assert telemetry.counters["instructions"] == 300

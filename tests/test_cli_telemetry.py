@@ -1,0 +1,124 @@
+"""CLI surfaces for the telemetry layer: --limit, --live, monitor.
+
+All through ``main([...])`` so flag plumbing, footer wiring and exit
+codes are pinned end to end.  ``TERM`` is forced to ``dumb`` wherever a
+dashboard could render: captured streams are not TTYs, so output must be
+plain rule-separated blocks with no escape codes.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.telemetry.snapshots import read_snapshots
+
+SMALL = ["--scale", "0.1", "--cores", "2", "--reps", "10"]
+INJECT_SMALL = [
+    "--trials", "1", "--scale", "0.05", "--cores", "2", "--reps", "2",
+    "--steps-per-interval", "2", "--iters-per-step", "4",
+]
+
+
+@pytest.fixture(autouse=True)
+def dumb_terminal(monkeypatch):
+    monkeypatch.setenv("TERM", "dumb")
+
+
+class TestStatsLimit:
+    def test_limit_surfaces_dropped_events(self, capsys):
+        argv = ["stats", "is", "ReCkpt_E", "--checkpoints", "5",
+                "--limit", "20"] + SMALL
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "trace: 20 events captured" in captured.out
+        assert "dropped" in captured.out
+        assert "events dropped at --limit 20" in captured.err
+        assert "raise the cap" in captured.err
+
+    def test_without_limit_no_tracing_line(self, capsys):
+        argv = ["stats", "is", "ReCkpt_E", "--checkpoints", "5"] + SMALL
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "trace:" not in captured.out
+        assert "dropped" not in captured.err
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "is", "ReCkpt_E", "--limit", "0"] + SMALL)
+
+
+class TestLiveCampaign:
+    def test_inject_live_streams_and_snapshots(self, tmp_path, capsys):
+        snaps = tmp_path / "telemetry.jsonl"
+        argv = ["inject", "cg", "--jobs", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--live", "--snapshots", str(snaps)] + INJECT_SMALL
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        # Dashboard blocks went to stderr, plain (dumb terminal).
+        assert "campaign telemetry" in captured.err
+        assert "\x1b[" not in captured.err
+        # The footer accounted for the stream and named the file.
+        assert "frames streamed" in captured.out
+        assert "campaign wall-clock attribution" in captured.out
+        assert str(snaps) in captured.out
+        docs = read_snapshots(snaps)
+        assert docs and docs[-1]["tasks_finished"] >= 1
+
+    def test_snapshots_without_live_stays_quiet(self, tmp_path, capsys):
+        snaps = tmp_path / "telemetry.jsonl"
+        argv = ["inject", "cg", "--jobs", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--snapshots", str(snaps)] + INJECT_SMALL
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "campaign telemetry" not in captured.err  # no dashboard
+        assert "frames streamed" in captured.out
+        assert read_snapshots(snaps)
+
+    def test_plain_campaign_emits_no_telemetry_footer(self, tmp_path, capsys):
+        argv = ["inject", "cg", "--jobs", "1",
+                "--cache-dir", str(tmp_path / "cache")] + INJECT_SMALL
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "frames streamed" not in captured.out
+        assert "campaign telemetry" not in captured.err
+        assert not (tmp_path / "cache" / "telemetry.jsonl").exists()
+
+
+class TestMonitorReplay:
+    def _campaign(self, tmp_path):
+        snaps = tmp_path / "telemetry.jsonl"
+        main(["inject", "cg", "--jobs", "1",
+              "--cache-dir", str(tmp_path / "cache"),
+              "--snapshots", str(snaps)] + INJECT_SMALL)
+        return snaps
+
+    def test_replay_renders_snapshots(self, tmp_path, capsys):
+        snaps = self._campaign(tmp_path)
+        capsys.readouterr()
+        assert main(["monitor", "--replay", str(snaps)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign telemetry" in out
+        assert "replayed" in out
+
+    def test_replay_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(["monitor", "--replay", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "no snapshot file" in capsys.readouterr().out
+
+    def test_replay_empty_stream_exits_1(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["monitor", "--replay", str(empty)]) == 1
+        assert "no committed snapshots" in capsys.readouterr().out
+
+    def test_replay_rejects_non_snapshot_stream(self, tmp_path, capsys):
+        foreign = tmp_path / "foreign.jsonl"
+        foreign.write_text(
+            json.dumps({"v": 1, "kind": "something-else"}) + "\n"
+        )
+        with pytest.warns(UserWarning, match="unexpected record kind"):
+            code = main(["monitor", "--replay", str(foreign)])
+        assert code == 1
