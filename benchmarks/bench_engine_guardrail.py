@@ -144,3 +144,40 @@ class TestCommittedSnapshots:
         assert entries
         vector = next(e for e in entries if e["engine"] == "vector")
         assert vector["speedup_vs_interp"] >= MIN_COMMITTED_SPEEDUP
+
+
+class TestCampaignForkSnapshot:
+    """``BENCH_inject_campaign.json`` compares campaign *schedules*
+    (straight O(N·T) vs fork-from-snapshot O(T + N·tail)) on one
+    engine, so it gets its own shape checks rather than riding the
+    engine-pair assertions above."""
+
+    #: Recorded fork-over-straight floor the committed snapshot must
+    #: show (the tentpole's acceptance bar).
+    MIN_FORK_SPEEDUP = 3.0
+
+    def test_schema_identity_and_speedup(self):
+        entries = load_snapshot("inject_campaign")
+        assert entries, (
+            "BENCH_inject_campaign.json missing — run "
+            "bench_inject_campaign.py"
+        )
+        by_mode = {}
+        for entry in entries:
+            assert entry["schema"] == 1
+            assert entry["bench"] == "inject_campaign"
+            assert entry["wall_s"] > 0
+            assert len(entry["results_sha256"]) == 64
+            assert entry["trials_per_config"] >= 16
+            by_mode[entry["mode"]] = entry
+        assert set(by_mode) == {"straight", "forked"}
+        # The recorded bit-identity certificate: forking trials from
+        # golden boundary snapshots changed nothing in the results.
+        assert (
+            by_mode["straight"]["results_sha256"]
+            == by_mode["forked"]["results_sha256"]
+        )
+        assert by_mode["forked"]["wall_s"] < by_mode["straight"]["wall_s"]
+        assert (
+            by_mode["forked"]["speedup_vs_straight"] >= self.MIN_FORK_SPEEDUP
+        )

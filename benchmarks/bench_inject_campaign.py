@@ -1,0 +1,131 @@
+"""Regenerate ``BENCH_inject_campaign.json``: fork-from-snapshot speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_inject_campaign.py [--quick]
+
+Times one Monte Carlo injection campaign (cg, both configurations,
+``TRIALS`` trials each) two ways:
+
+* **straight** — every trial re-executes its golden pass and runs the
+  faulty pass from step 0: the O(N·T) schedule;
+* **forked** — one golden pass per (workload, configuration) captures a
+  boundary snapshot every interval, and each trial forks its faulty
+  pass from the snapshot preceding its injection step: O(T + N·tail).
+
+The in-process golden memo is cleared before the forked timing, so the
+golden pass and all snapshot captures are *inside* the timed region —
+the recorded speedup is the honest cold-campaign ratio, not a warm-memo
+artifact.  Both modes feed a checksum over the full per-trial result
+dicts, and the generator refuses to write a snapshot whose modes
+disagree: the committed file doubles as a bit-identity certificate for
+the fork path.  Timing is interleaved best-of-``ROUNDS`` (straight /
+forked / straight / forked) so host noise spreads across both series.
+
+``--quick`` shrinks the protocol for a smoke of the generator itself;
+committed snapshots must come from a default run.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _bench_lib import bench_snapshot, results_checksum, write_snapshot
+
+from repro.inject import harness
+from repro.inject.campaign import build_trials
+from repro.inject.harness import run_trial
+
+#: Campaign protocol.  Trial count is per configuration; reps/scale are
+#: raised above the TrialSpec defaults so per-trial simulated work (T)
+#: dominates fixed costs — the regime injection campaigns actually run
+#: in, and the one the O(T + N·tail) schedule is built for.
+WORKLOAD = "cg"
+TRIALS = 16
+REPS = 24
+SCALE = 0.2
+CORES = 2
+ROUNDS = 2
+
+
+def _timed(fn):
+    gc.collect()
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def snapshot_campaign(quick: bool = False):
+    trials = 4 if quick else TRIALS
+    reps = 8 if quick else REPS
+    scale = 0.1 if quick else SCALE
+    specs = build_trials(
+        [WORKLOAD], trials=trials, reps=reps, region_scale=scale,
+        num_cores=CORES,
+    )
+
+    def run_all(snapshots):
+        if snapshots:
+            # Cold campaign: the golden pass and every boundary
+            # capture must land inside the timed region.
+            harness._GOLDEN_MEMO.clear()
+        return [run_trial(spec, snapshots=snapshots) for spec in specs]
+
+    # Warm the shared compile/plan caches for both series.
+    run_all(snapshots=False)
+    mins = {"straight": float("inf"), "forked": float("inf")}
+    digests = {}
+    for _ in range(ROUNDS):
+        for mode in ("straight", "forked"):
+            payload = []
+
+            def timed_run(mode=mode, payload=payload):
+                payload.extend(run_all(snapshots=(mode == "forked")))
+
+            mins[mode] = min(mins[mode], _timed(timed_run))
+            digests[mode] = results_checksum([r.to_dict() for r in payload])
+
+    if digests["straight"] != digests["forked"]:
+        raise SystemExit(
+            "FORK DIVERGENCE: forked trials differ from straight-through "
+            "— refusing to write snapshot"
+        )
+    speedup = mins["straight"] / mins["forked"]
+    print(
+        f"inject_campaign ({WORKLOAD}, {trials} trials/config): "
+        f"straight {mins['straight']:.2f}s  forked {mins['forked']:.2f}s  "
+        f"({speedup:.2f}x)",
+        flush=True,
+    )
+
+    entries = []
+    for mode in ("straight", "forked"):
+        extra = {
+            "mode": mode,
+            "workload": WORKLOAD,
+            "trials_per_config": trials,
+            "configs": ["BER", "ACR"],
+        }
+        if mode == "forked":
+            extra["speedup_vs_straight"] = round(speedup, 2)
+        entries.append(
+            bench_snapshot(
+                "inject_campaign", "interp", mins[mode], digests[mode],
+                extra=extra, scale=scale, cores=CORES, reps=reps,
+            )
+        )
+    return entries
+
+
+def main(argv):
+    quick = "--quick" in argv
+    print(f"wrote {write_snapshot('inject_campaign', snapshot_campaign(quick))}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

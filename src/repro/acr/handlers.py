@@ -106,6 +106,21 @@ class AcrCheckpointHandler:
         """The full site -> Slice map of ``core`` (read-only use)."""
         return self._site_slices[core]
 
+    # -- snapshot support -----------------------------------------------------
+    def generation_words(self) -> List[List[int]]:
+        """Per-core operand-word ledgers, one entry per live generation
+        (open last).  Returned live — copy before serializing."""
+        return self._gen_words
+
+    def restore_generation_words(self, words: Sequence[Sequence[int]]) -> None:
+        """Replace the generation word ledgers (snapshot restore)."""
+        if len(words) != self.config.num_cores:
+            raise ValueError(
+                f"need one word ledger per core: got {len(words)} "
+                f"for {self.config.num_cores} cores"
+            )
+        self._gen_words = [list(w) for w in words]
+
     @property
     def observed(self) -> bool:
         """True when a tracer or metrics registry is attached.

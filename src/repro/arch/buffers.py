@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.compiler.slices import Slice
 from repro.util.validation import check_positive
 
-__all__ = ["AddrMapEntry", "AddrMap", "OperandBuffer"]
+__all__ = ["AddrMapEntry", "AddrMap", "OperandBuffer", "make_generation"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,6 +60,23 @@ class _Generation:
     def __init__(self) -> None:
         self.entries: Dict[int, AddrMapEntry] = {}
         self.tombstones: Set[int] = set()
+
+
+def make_generation(
+    entries: List[Tuple[int, AddrMapEntry]], tombstones: Set[int]
+) -> _Generation:
+    """Build one generation from explicit state (snapshot restore).
+
+    ``entries`` is an *ordered* ``(address, entry)`` list — insertion
+    order is preserved because lookups and the fault-injection harness
+    iterate ``entries.values()`` and the order is part of captured
+    state.
+    """
+    gen = _Generation()
+    for address, entry in entries:
+        gen.entries[address] = entry
+    gen.tombstones.update(tombstones)
+    return gen
 
 
 class AddrMap:
@@ -116,6 +133,23 @@ class AddrMap:
         place and stays valid.
         """
         return self._open, self._committed
+
+    def restore_generations(
+        self, open_gen: _Generation, committed: List[_Generation]
+    ) -> None:
+        """Replace the generation state wholesale (snapshot restore).
+
+        The inverse of reading :meth:`internal_state`: engines holding
+        references from a previous ``internal_state()`` call must
+        re-fetch, exactly as across a ``commit_generation``.
+        """
+        if len(committed) > 2:
+            raise ValueError(
+                f"at most 2 committed generations are retained, "
+                f"got {len(committed)}"
+            )
+        self._open = open_gen
+        self._committed = list(committed)
 
     def committed_lookup(self, address: int) -> Optional[AddrMapEntry]:
         """Youngest committed knowledge about ``address``.

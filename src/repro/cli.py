@@ -636,6 +636,8 @@ def cmd_inject(args) -> int:
         jobs=args.jobs, cache_dir=args.cache_dir,
         resilience=_policy(args), resume=args.resume,
         engine=args.engine,
+        snapshots=not args.no_fork,
+        snapshot_dir=args.snapshot_dir,
     )
     telemetry = _telemetry_for(args, runner)
     report = run_campaign(runner, specs)
@@ -651,6 +653,8 @@ def cmd_inject(args) -> int:
         )
     print(report.verdict_line())
     print(runner.progress.summary_line())
+    if runner.progress.forked_trials:
+        print(runner.progress.forked_line())
     _print_resilience(runner)
     _finish_telemetry(runner, telemetry)
     if args.json:
@@ -846,6 +850,14 @@ def build_parser() -> argparse.ArgumentParser:
                    default="interp",
                    help="interpreter flavour for both passes "
                         "(bit-identical results)")
+    p.add_argument("--snapshot-dir", type=str, default=None,
+                   help="persist golden-run boundary snapshots here so "
+                        "repeated campaigns skip their golden passes "
+                        "(results stay bit-identical)")
+    p.add_argument("--no-fork", action="store_true",
+                   help="run every trial straight through from step 0 "
+                        "instead of forking from golden snapshots "
+                        "(bit-identical, slower; for debugging)")
     _add_resilience(p)
     _add_telemetry(p)
     p.add_argument("--json", type=str, default=None,

@@ -47,7 +47,11 @@ __all__ = [
 #: v2: ``RunResult.to_dict`` gained the (nullable) ``obs`` payload.
 #: v3: the envelope gained a ``kind`` discriminator ("run" simulation
 #:     results vs "inject-trial" fault-injection trial results).
-CACHE_SCHEMA_VERSION = 3
+#: v4: campaign trial rotation decoupled workload/target indices and
+#:     switched to a campaign-shared memory seed — spec fields are
+#:     unchanged, but the trial population a campaign key set names is
+#:     different, so pre-v4 trial entries must read as misses.
+CACHE_SCHEMA_VERSION = 4
 
 #: Envelope payload kinds the cache stores.
 KIND_RUN = "run"

@@ -73,6 +73,9 @@ class ProgressTracker:
     # versus falling back to the classic loop.
     vector_replayed: int = 0
     vector_fallback: int = 0
+    # Snapshot-fork accounting (repro.sim.snapshot): trials executed by
+    # forking the shared golden pass instead of replaying from step 0.
+    forked_trials: int = 0
     # Live-telemetry accounting (repro.obs.telemetry): set once at the
     # end of a campaign that ran with a CampaignTelemetry attached.
     # ``telemetry_attached`` keeps the zeros visible — a campaign that
@@ -139,6 +142,10 @@ class ProgressTracker:
         """Accumulate one vector-engine run's coverage counters."""
         self.vector_replayed += replayed
         self.vector_fallback += fallback
+
+    def record_forked(self, n: int = 1) -> None:
+        """Count trials executed on the forked-snapshot plan."""
+        self.forked_trials += n
 
     def record_telemetry(self, frames: int, snapshots: int) -> None:
         """Record a finished campaign's telemetry totals (frame count
@@ -228,6 +235,8 @@ class ProgressTracker:
             footers.append(self.tracing_line())
         if self.vector_replayed or self.vector_fallback:
             footers.append(self.vector_line())
+        if self.forked_trials:
+            footers.append(self.forked_line())
         footers.append(self.resilience_line())
         if self.telemetry_attached:
             footers.append(self.telemetry_line())
@@ -244,6 +253,13 @@ class ProgressTracker:
         return (
             f"vector: {self.vector_replayed}/{total} iterations replayed "
             f"({pct:.1f}% coverage, {self.vector_fallback} fallback)"
+        )
+
+    def forked_line(self) -> str:
+        """One-line snapshot-fork summary (executed trials only)."""
+        return (
+            f"snapshots: {self.forked_trials} trials forked from "
+            f"golden boundaries"
         )
 
     def resilience_line(self) -> str:
@@ -278,6 +294,7 @@ class ProgressTracker:
         self.resumed = 0
         self.vector_replayed = 0
         self.vector_fallback = 0
+        self.forked_trials = 0
         self.telemetry_frames = 0
         self.telemetry_snapshots = 0
         self.telemetry_attached = False

@@ -70,6 +70,7 @@ from repro.sim.results import (
     energy_overhead,
     time_overhead,
 )
+from repro.sim.snapshot import SnapshotStore
 from repro.sim.simulator import Simulator
 from repro.util.validation import check_positive
 from repro.workloads.registry import all_workload_names, get_workload
@@ -115,18 +116,28 @@ def _worker_simulator(
 
 
 def _trial_execute(
-    task: Tuple[TrialSpec, str]
+    task: Tuple[TrialSpec, str, bool, Optional[str]]
 ) -> Tuple[TrialSpec, dict, float]:
     """Pool entry point for fault-injection trials.
 
     A trial is self-contained (the spec names its workload, scale and
-    machine shape), so the task is the spec plus the execution engine;
-    like :func:`_worker_execute` the result crosses the process boundary
+    machine shape), so the task is the spec plus the execution-plan
+    knobs: the engine, whether to run on the forked-snapshot plan, and
+    the snapshot store directory (None: in-process golden memo only —
+    the harness keeps it at module scope, so one pool worker serving
+    many trials of a recipe runs its golden pass once either way).
+    Like :func:`_worker_execute` the result crosses the process boundary
     serialised.
     """
-    spec, engine = task
+    spec, engine, snapshots, snapshot_dir = task
+    store = (
+        SnapshotStore(Path(snapshot_dir)) if snapshot_dir is not None
+        else None
+    )
     with _Timer() as timer:
-        result = run_trial(spec, engine=engine)
+        result = run_trial(
+            spec, engine=engine, snapshots=snapshots, snapshot_store=store
+        )
     return spec, result.to_dict(), timer.seconds
 
 
@@ -163,6 +174,8 @@ class ExperimentRunner:
         resume: bool = False,
         engine: str = "interp",
         telemetry=None,
+        snapshots: bool = True,
+        snapshot_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         check_positive("num_cores", num_cores)
         check_positive("region_scale", region_scale)
@@ -178,6 +191,21 @@ class ExperimentRunner:
         if self.machine.num_cores != num_cores:
             raise ValueError("machine config core count mismatch")
         self.jobs = jobs
+        # Fault-injection execution plan: fork each trial's faulty pass
+        # from the shared golden run's boundary snapshots (O(T + N·tail)
+        # per recipe) instead of replaying from step 0 (O(N·T)).  Like
+        # ``engine`` this is bit-identity-neutral (the fork-equivalence
+        # suite pins it) and absent from cache keys; ``snapshot_dir``
+        # optionally persists golden runs across invocations.
+        self.snapshots = snapshots
+        self.snapshot_dir: Optional[Path] = (
+            Path(snapshot_dir) if snapshot_dir is not None else None
+        )
+        self.snapshot_store: Optional[SnapshotStore] = (
+            SnapshotStore(self.snapshot_dir)
+            if self.snapshot_dir is not None
+            else None
+        )
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if cache_dir is not None else None
         )
@@ -215,6 +243,10 @@ class ExperimentRunner:
                     "cache_dir (or journal_path)"
                 )
             self._resume_keys = self.journal.load()
+        #: Key locks currently held by this process (best-effort cache
+        #: coordination); heartbeaten per completed task so long-running
+        #: owners are not broken as stale by waiting peers.
+        self._held_locks: List[KeyLock] = []
         self._programs: Dict[str, List[Program]] = {}
         self._simulators: Dict[str, Simulator] = {}
         self._results: Dict[Tuple[str, ConfigRequest], RunResult] = {}
@@ -342,7 +374,12 @@ class ExperimentRunner:
                 f"{spec.workload}/inject:{spec.config}#{spec.seed}"
             )
             with scope, _Timer() as timer:
-                result = run_trial(spec, engine=self.engine)
+                result = run_trial(
+                    spec,
+                    engine=self.engine,
+                    snapshots=self.snapshots,
+                    snapshot_store=self.snapshot_store,
+                )
             self._install_trial(spec, result, "sim", timer.seconds)
 
         self._with_key_lock(
@@ -359,7 +396,13 @@ class ExperimentRunner:
             SupervisedTask(
                 key=trial_cache_key(spec),
                 fn=_trial_execute,
-                payload=(spec, self.engine),
+                payload=(
+                    spec,
+                    self.engine,
+                    self.snapshots,
+                    (str(self.snapshot_dir)
+                     if self.snapshot_dir is not None else None),
+                ),
                 label=f"{spec.workload}/inject:{spec.config}#{spec.seed}",
             )
             for spec in pending
@@ -418,9 +461,12 @@ class ExperimentRunner:
         attempts: int = 1,
     ) -> None:
         """Record progress and store a fresh trial result in every layer."""
+        self._heartbeat_locks()
         self.progress.record(
             spec.workload, f"inject:{spec.config}", source, seconds
         )
+        if self.snapshots:
+            self.progress.record_forked()
         self._trial_results[spec] = result
         key = trial_cache_key(spec)
         if self.cache is not None:
@@ -590,6 +636,7 @@ class ExperimentRunner:
     ) -> None:
         """Install a fresh result into the memo, the persistent cache
         and the completion journal."""
+        self._heartbeat_locks()
         self._results[(workload, request)] = result
         key = self.cache_key(workload, request)
         if self.cache is not None:
@@ -680,6 +727,17 @@ class ExperimentRunner:
                 )
             )
 
+    def _heartbeat_locks(self) -> None:
+        """Refresh the mtime of every currently-held key lock.
+
+        Called per completed task (install/store time), which bounds the
+        staleness clock by the longest *single* task rather than the
+        whole fan-out; cheap (one utime per held lock, usually zero or
+        one of them).
+        """
+        for lock in self._held_locks:
+            lock.heartbeat()
+
     def _with_key_lock(
         self,
         key: str,
@@ -693,6 +751,12 @@ class ExperimentRunner:
         (bounded by the policy), then ``recheck`` the cache: if the
         winner published, reuse its entry; otherwise execute anyway —
         the lock is an optimisation, never a correctness gate.
+
+        Held locks are registered on ``_held_locks`` for the duration of
+        ``execute`` so :meth:`_heartbeat_locks` can refresh their mtimes
+        — an owner legitimately computing past the staleness window
+        (e.g. a lock held across a nested baseline run) must not get
+        broken by a waiting peer.
         """
         if self.cache is None:
             execute()
@@ -702,21 +766,18 @@ class ExperimentRunner:
             wait_s=self.resilience.lock_wait_s,
             stale_s=self.resilience.lock_stale_s,
         )
-        if lock.try_acquire():
-            # Uncontended: the common case pays one O_EXCL create, no
-            # recheck (the caller just looked the key up and missed).
-            try:
-                execute()
-            finally:
-                lock.release()
-            return
-        # Contended: another invocation is (or was) computing this key.
-        lock.acquire()
-        try:
+        if not lock.try_acquire():
+            # Contended: another invocation is (or was) computing this
+            # key — wait for it, then prefer its published entry.
+            lock.acquire()
             if recheck():
+                lock.release()
                 return
+        self._held_locks.append(lock)
+        try:
             execute()
         finally:
+            self._held_locks.remove(lock)
             lock.release()
 
     # -- parallel fan-out ----------------------------------------------------

@@ -20,9 +20,13 @@ from repro.inject.harness import (
     OUTCOMES,
     TARGET_KINDS,
     Divergence,
+    GoldenRun,
     Injection,
     TrialResult,
     TrialSpec,
+    fork,
+    golden_key,
+    run_golden,
     run_trial,
 )
 from repro.inject.campaign import CampaignReport, build_trials, run_campaign
@@ -31,9 +35,13 @@ __all__ = [
     "OUTCOMES",
     "TARGET_KINDS",
     "Divergence",
+    "GoldenRun",
     "Injection",
     "TrialResult",
     "TrialSpec",
+    "fork",
+    "golden_key",
+    "run_golden",
     "run_trial",
     "CampaignReport",
     "build_trials",

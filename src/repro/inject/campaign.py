@@ -45,11 +45,16 @@ def build_trials(
     """``trials`` specs *per configuration*, rotating workloads/targets.
 
     Trial ``i`` of a configuration draws workload ``i mod W`` and target
-    ``i mod T`` with seed ``seed + i`` (which also seeds the memory
-    image, so every trial executes against different initial contents).
-    The rotation guarantees every (workload, target) pair is covered
-    once ``trials >= lcm(W, T)``; the per-trial RNG does the rest of the
-    randomisation (injection step, victim address/register/bit).
+    ``(i // W) mod T`` with seed ``seed + i``.  The two indices are
+    decoupled — a shared ``i mod ·`` rotation would only ever visit
+    pairs congruent mod ``gcd(W, T)`` (with the default four workloads
+    and four targets: 4 of the 16 pairs) — so every (workload, target)
+    pair is covered once ``trials >= W * T``.  The memory image uses the
+    campaign-level ``seed`` for every trial: initial memory contents are
+    part of the *workload recipe*, letting all trials of one (workload,
+    config) share a single golden pass and its boundary snapshots, while
+    the per-trial RNG (seeded ``seed + i``) randomises everything else
+    (injection step, victim address/register/bit).
     """
     check_positive("trials", trials)
     if not workloads:
@@ -63,14 +68,14 @@ def build_trials(
                 workload=workloads[i % len(workloads)],
                 config=config,
                 seed=seed + i,
-                target=targets[i % len(targets)],
+                target=targets[(i // len(workloads)) % len(targets)],
                 num_cores=num_cores,
                 steps_per_interval=steps_per_interval,
                 iters_per_step=iters_per_step,
                 region_scale=region_scale,
                 reps=reps,
                 threshold=threshold,
-                memory_seed=seed + i,
+                memory_seed=seed,
                 detection_latency_fraction=detection_latency_fraction,
                 defect=defect,
             ))
@@ -177,9 +182,11 @@ class CampaignReport:
 
     def to_json_dict(self) -> Dict[str, Any]:
         """Machine-readable report (the ``--json`` artifact)."""
-        by_outcome = {o: 0 for o in OUTCOMES}
+        by_outcome: Dict[str, int] = {o: 0 for o in OUTCOMES}
         for result in self.results:
-            by_outcome[result.outcome] += 1
+            # An outcome outside OUTCOMES (a newer producer's vocabulary)
+            # gets its own key rather than crashing the report writer.
+            by_outcome[result.outcome] = by_outcome.get(result.outcome, 0) + 1
         return {
             "ok": self.ok,
             "trials": len(self.results),

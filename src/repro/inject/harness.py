@@ -57,17 +57,19 @@ is how the harness proves it can detect real bugs.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.acr.handlers import AcrCheckpointHandler
-from repro.arch.buffers import AddrMapEntry
+from repro.arch.buffers import AddrMapEntry, make_generation
 from repro.arch.config import MachineConfig
 from repro.arch.directory import Directory
 from repro.arch.memctrl import MemorySystem
-from repro.ckpt.checkpoint import CheckpointStore
-from repro.ckpt.log import IntervalLog
+from repro.ckpt.checkpoint import Checkpoint, CheckpointStore
+from repro.ckpt.log import IntervalLog, LogRecord, OmittedRecord
 from repro.ckpt.recovery import RecoveryEngine
 from repro.compiler.embed import compile_program
 from repro.compiler.policy import ThresholdPolicy
@@ -88,6 +90,12 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import emit as _telemetry_mod
 from repro.obs.telemetry.frames import TaskHeartbeat
 from repro.obs.tracer import Tracer
+from repro.sim.snapshot import (
+    SNAPSHOT_VERSION,
+    SimSnapshot,
+    SnapshotError,
+    SnapshotStore,
+)
 from repro.util.rng import DeterministicRng
 from repro.util.validation import check_in_range, check_positive
 from repro.workloads.registry import get_workload
@@ -98,9 +106,13 @@ __all__ = [
     "OUTCOMES",
     "TARGET_KINDS",
     "Divergence",
+    "GoldenRun",
     "Injection",
     "TrialResult",
     "TrialSpec",
+    "fork",
+    "golden_key",
+    "run_golden",
     "run_trial",
 ]
 
@@ -382,9 +394,14 @@ class _MechanismPass:
         slice_tables: Optional[Sequence[SliceTable]],
         config: MachineConfig,
         engine: str = "interp",
+        capture_memory: bool = True,
     ) -> None:
         self.spec = spec
         self.config = config
+        #: Whether :meth:`checkpoint` keeps per-boundary memory images
+        #: (golden passes need them as rollback expectations; faulty and
+        #: boundary-snapshotting passes never read them).
+        self.capture_memory = capture_memory
         self.memory = MemoryImage(seed=spec.memory_seed)
         self.directory = Directory(spec.num_cores)
         self.store = CheckpointStore(config.arch_state_bytes, spec.num_cores)
@@ -460,10 +477,11 @@ class _MechanismPass:
         if self._telemetry:
             _telemetry_mod.emit(
                 TaskHeartbeat,
-                interval=len(self.snapshots),
+                interval=self.store.count,
                 instructions=self.n_instructions,
             )
-        self.snapshots.append(self.memory.snapshot())
+        if self.capture_memory:
+            self.snapshots.append(self.memory.snapshot())
         self.arch_snapshots.append(
             [it.arch_state() for it in self.interpreters]
         )
@@ -485,6 +503,241 @@ class _MechanismPass:
         for it in self.interpreters:
             while not it.done:
                 it.step_iterations(1 << 20)
+
+    # -- snapshot / fork -----------------------------------------------------
+    def snapshot(
+        self, rng_states: Optional[Dict[str, Any]] = None
+    ) -> SimSnapshot:
+        """Capture complete functional state as pure data.
+
+        Every AddrMap entry *object* becomes one entry-table row keyed
+        by ``id()``; logs and generations reference rows by index, so
+        the shared-vs-distinct identity graph (which the injector's
+        candidate selection and ``swap_committed`` depend on) survives
+        serialization.  ``rng_states`` lets callers ride their stream
+        positions along (label → :meth:`DeterministicRng.getstate`).
+        """
+        entry_index: Dict[int, int] = {}
+        entry_rows: List[List[Any]] = []
+
+        def eid(core: int, entry: AddrMapEntry) -> int:
+            got = entry_index.get(id(entry))
+            if got is None:
+                got = len(entry_rows)
+                entry_index[id(entry)] = got
+                entry_rows.append(
+                    [core, entry.slice_.site, entry.address,
+                     list(entry.operands)]
+                )
+            return got
+
+        def log_doc(log: IntervalLog) -> Dict[str, Any]:
+            return {
+                "interval": log.interval_index,
+                "records": [[r.address, r.old_value, r.core]
+                            for r in log.records],
+                "omitted": [[o.address, eid(o.core, o.entry), o.core,
+                             o.ground_truth_old_value]
+                            for o in log.omitted],
+            }
+
+        addrmaps = operand_buffers = gen_words = handler_counters = None
+        if self.handler is not None:
+            def gen_doc(core: int, gen: Any) -> Dict[str, Any]:
+                return {
+                    "entries": [[a, eid(core, e)]
+                                for a, e in gen.entries.items()],
+                    "tombstones": sorted(gen.tombstones),
+                }
+
+            addrmaps = []
+            for core, addrmap in enumerate(self.handler.addrmaps):
+                open_gen, committed = addrmap.internal_state()
+                addrmaps.append({
+                    "open": gen_doc(core, open_gen),
+                    "committed": [gen_doc(core, g) for g in committed],
+                    "records": addrmap.records,
+                    "rejections": addrmap.rejections,
+                })
+            operand_buffers = [
+                {"words": b.words, "peak_words": b.peak_words,
+                 "rejections": b.rejections}
+                for b in self.handler.operand_buffers
+            ]
+            gen_words = [list(w) for w in self.handler.generation_words()]
+            handler_counters = {
+                "assoc_executed": self.handler.assoc_executed,
+                "omissions": self.handler.omissions,
+                "omission_lookups": self.handler.omission_lookups,
+            }
+        open_log = log_doc(self.store.current_log)
+        checkpoints = [
+            {
+                "index": c.index,
+                "useful_ns": c.useful_ns,
+                "wall_ns": c.wall_ns,
+                "arch_bytes": c.arch_bytes,
+                "participants": (None if c.participants is None
+                                 else sorted(c.participants)),
+                "log": log_doc(c.log),
+                "data_bytes": c.data_bytes,
+                "omitted_bytes": c.omitted_bytes,
+            }
+            for c in self.store.checkpoints
+        ]
+        return SimSnapshot(
+            memory_seed=self.memory.seed,
+            memory_words=[[a, v] for a, v in self.memory.snapshot().items()],
+            step=self.steps,
+            n_instructions=self.n_instructions,
+            ecc_lookup_hits=self.ecc_lookup_hits,
+            directory_log_bits=sorted(self.directory.log_bit_set()),
+            entries=entry_rows,
+            open_log=open_log,
+            checkpoints=checkpoints,
+            addrmaps=addrmaps,
+            operand_buffers=operand_buffers,
+            gen_words=gen_words,
+            handler_counters=handler_counters,
+            arch=[[k, i, list(r)] for k, i, r in
+                  (it.arch_state() for it in self.interpreters)],
+            initial_arch=[[k, i, list(r)] for k, i, r in self.initial_arch],
+            arch_history=[
+                [[k, i, list(r)] for k, i, r in states]
+                for states in self.arch_snapshots
+            ],
+            rng_states=dict(rng_states or {}),
+        )
+
+    def restore_snapshot(self, snap: SimSnapshot) -> None:
+        """Install ``snap`` into this (freshly built) pass.
+
+        The pass must have been built from the same recipe the snapshot
+        was captured under — programs and Slices are *rehydrated* from
+        this pass's deterministic compile, never deserialized.  Raises
+        :class:`SnapshotError` when the snapshot does not fit.
+        """
+        if snap.memory_seed != self.memory.seed:
+            raise SnapshotError(
+                f"snapshot memory seed {snap.memory_seed} != pass seed "
+                f"{self.memory.seed}"
+            )
+        n_cores = len(self.interpreters)
+        for name in ("arch", "initial_arch"):
+            if len(getattr(snap, name)) != n_cores:
+                raise SnapshotError(
+                    f"snapshot {name} covers {len(getattr(snap, name))} "
+                    f"cores, this pass has {n_cores}"
+                )
+        if self.handler is None and snap.addrmaps is not None:
+            raise SnapshotError(
+                "snapshot carries ACR handler state but this "
+                "configuration has no handler"
+            )
+        entries: List[AddrMapEntry] = []
+        for row in snap.entries:
+            core, site, address, operands = row
+            if self.handler is None:
+                raise SnapshotError(
+                    "snapshot carries AddrMap entries but this "
+                    "configuration has no ACR handler"
+                )
+            if not isinstance(core, int) or not 0 <= core < n_cores:
+                raise SnapshotError(f"entry references bad core {core!r}")
+            sl = self.handler.site_slice_map(core).get(site)
+            if sl is None:
+                raise SnapshotError(
+                    f"snapshot references unknown slice site {site} "
+                    f"on core {core}"
+                )
+            entries.append(AddrMapEntry(address, sl, tuple(operands)))
+
+        def entry_at(idx: Any) -> AddrMapEntry:
+            if (isinstance(idx, bool) or not isinstance(idx, int)
+                    or not 0 <= idx < len(entries)):
+                raise SnapshotError(f"bad entry reference {idx!r}")
+            return entries[idx]
+
+        def build_log(doc: Dict[str, Any]) -> IntervalLog:
+            log = IntervalLog(doc["interval"])
+            log.records.extend(
+                LogRecord(a, v, c) for a, v, c in doc["records"]
+            )
+            log.omitted.extend(
+                OmittedRecord(a, entry_at(e), c, t)
+                for a, e, c, t in doc["omitted"]
+            )
+            return log
+
+        self.memory.restore({a: v for a, v in snap.memory_words})
+        self.store.checkpoints = [
+            Checkpoint(
+                index=d["index"],
+                useful_ns=d["useful_ns"],
+                wall_ns=d["wall_ns"],
+                arch_bytes=d["arch_bytes"],
+                participants=(None if d["participants"] is None
+                              else frozenset(d["participants"])),
+                log=build_log(d["log"]),
+                data_bytes=d["data_bytes"],
+                omitted_bytes=d["omitted_bytes"],
+            )
+            for d in snap.checkpoints
+        ]
+        self.store.current_log = build_log(snap.open_log)
+        bits = self.directory.log_bit_set()
+        bits.clear()
+        bits.update(snap.directory_log_bits)
+        if self.handler is not None:
+            if snap.addrmaps is None:
+                raise SnapshotError(
+                    "snapshot has no AddrMap state for an ACR configuration"
+                )
+            if len(snap.addrmaps) != n_cores:
+                raise SnapshotError(
+                    f"snapshot AddrMap state covers {len(snap.addrmaps)} "
+                    f"cores, this pass has {n_cores}"
+                )
+
+            def build_gen(doc: Dict[str, Any]) -> Any:
+                return make_generation(
+                    [(a, entry_at(e)) for a, e in doc["entries"]],
+                    set(doc["tombstones"]),
+                )
+
+            for core in range(n_cores):
+                doc = snap.addrmaps[core]
+                addrmap = self.handler.addrmaps[core]
+                addrmap.restore_generations(
+                    build_gen(doc["open"]),
+                    [build_gen(g) for g in doc["committed"]],
+                )
+                addrmap.records = doc["records"]
+                addrmap.rejections = doc["rejections"]
+                buf = self.handler.operand_buffers[core]
+                bdoc = snap.operand_buffers[core]
+                buf.words = bdoc["words"]
+                buf.peak_words = bdoc["peak_words"]
+                buf.rejections = bdoc["rejections"]
+            self.handler.restore_generation_words(snap.gen_words)
+            counters = snap.handler_counters
+            self.handler.assoc_executed = counters["assoc_executed"]
+            self.handler.omissions = counters["omissions"]
+            self.handler.omission_lookups = counters["omission_lookups"]
+        for it, row in zip(self.interpreters, snap.arch):
+            it.adopt_arch_state((row[0], row[1], list(row[2])))
+        self.initial_arch = [
+            (k, i, list(r)) for k, i, r in snap.initial_arch
+        ]
+        self.arch_snapshots = [
+            [(k, i, list(r)) for k, i, r in states]
+            for states in snap.arch_history
+        ]
+        self.snapshots = []
+        self.steps = snap.step
+        self.n_instructions = snap.n_instructions
+        self.ecc_lookup_hits = snap.ecc_lookup_hits
+        self._corrupt_entries = set()
 
     # -- injection -----------------------------------------------------------
     def inject(self, rng: DeterministicRng, requested: str) -> Injection:
@@ -718,11 +971,51 @@ def _record_vector_coverage(
         metrics.histogram("vector.coverage").observe(replayed / total)
 
 
-def _build_passes(
+#: TrialSpec fields that determine the compiled workload (programs,
+#: slice tables, machine config) — injection schedule fields excluded.
+_COMPILE_FIELDS = (
+    "workload", "config", "num_cores", "region_scale", "reps", "threshold",
+)
+
+#: Compile fields plus the execution grid and initial memory contents:
+#: everything that determines the golden (error-free) pass.  The trial
+#: randomisation fields (``seed``/``target``/``detection_latency_fraction``
+#: /``defect``) are deliberately excluded, so every trial of one
+#: (workload, config) recipe shares a single golden run.
+_GOLDEN_FIELDS = _COMPILE_FIELDS + (
+    "steps_per_interval", "iters_per_step", "memory_seed",
+)
+
+#: In-process memo caps.  A campaign rotates a handful of (workload,
+#: config) recipes; workers keep their own module-global memos.
+_MEMO_CAP = 8
+
+_COMPILED_MEMO: Dict[
+    Tuple,
+    Tuple[List[Program], Optional[List[SliceTable]], MachineConfig],
+] = {}
+_GOLDEN_MEMO: Dict[Tuple[str, str], "GoldenRun"] = {}
+
+
+def _memo_put(memo: Dict, key: Any, value: Any) -> None:
+    while len(memo) >= _MEMO_CAP:
+        memo.pop(next(iter(memo)))
+    memo[key] = value
+
+
+def _compiled(
     spec: TrialSpec,
-    engine: str = "interp",
-) -> Tuple["_MechanismPass", "_MechanismPass"]:
-    """Build the golden and faulty passes from one compiled workload."""
+) -> Tuple[List[Program], Optional[List[SliceTable]], MachineConfig]:
+    """The compiled workload for ``spec``, memoized across trials.
+
+    Compilation is deterministic, and plans/op-caches attach to the
+    ``Program`` objects, so sharing them across the trials of one
+    campaign recipe is both sound and the point: a fork never recompiles.
+    """
+    key = tuple(getattr(spec, name) for name in _COMPILE_FIELDS)
+    hit = _COMPILED_MEMO.get(key)
+    if hit is not None:
+        return hit
     workload = get_workload(spec.workload)
     programs = workload.build_programs(
         spec.num_cores, region_scale=spec.region_scale, reps=spec.reps
@@ -740,9 +1033,182 @@ def _build_passes(
         ]
         programs = [c.program for c in compiled]
         slice_tables = [c.slices for c in compiled]
+    value = (programs, slice_tables, config)
+    _memo_put(_COMPILED_MEMO, key, value)
+    return value
+
+
+def _build_passes(
+    spec: TrialSpec,
+    engine: str = "interp",
+) -> Tuple["_MechanismPass", "_MechanismPass"]:
+    """Build the golden and faulty passes from one compiled workload."""
+    programs, slice_tables, config = _compiled(spec)
     golden = _MechanismPass(spec, programs, slice_tables, config, engine)
-    faulty = _MechanismPass(spec, programs, slice_tables, config, engine)
+    faulty = _MechanismPass(
+        spec, programs, slice_tables, config, engine, capture_memory=False
+    )
     return golden, faulty
+
+
+def golden_key(spec: TrialSpec, engine: str = "interp") -> str:
+    """Content address of a golden run: recipe + engine + format version.
+
+    The engine is part of the key even though results are bit-identical
+    across engines — sharing snapshots *across* engines would let the
+    snapshot store mask a cross-engine divergence the equivalence suite
+    exists to catch.
+    """
+    doc = {
+        "engine": engine,
+        "snapshot_version": SNAPSHOT_VERSION,
+        "spec": {name: getattr(spec, name) for name in _GOLDEN_FIELDS},
+    }
+    text = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """One golden pass, snapshotted at every interval boundary.
+
+    ``boundaries[m]`` is the state at step ``m * steps_per_interval``
+    (``boundaries[0]`` is the initial state, later entries land right
+    after each checkpoint establishment); a faulty pass injecting at
+    step ``s`` forks from ``boundaries[s // steps_per_interval]``, the
+    newest boundary at or before the injection.  The memory expectation
+    of a rollback to checkpoint ``k`` is ``boundaries[k + 1]``'s memory
+    image, and ``final_words`` is the golden end state.
+    """
+
+    total_steps: int
+    final_words: List[List[int]]
+    boundaries: List[SimSnapshot]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "v": SNAPSHOT_VERSION,
+            "total_steps": self.total_steps,
+            "final_words": self.final_words,
+            "boundaries": [b.to_payload() for b in self.boundaries],
+        }
+
+    @classmethod
+    def from_payload(cls, doc: Any) -> "GoldenRun":
+        if not isinstance(doc, dict):
+            raise SnapshotError("golden-run payload is not an object")
+        expected = {"v", "total_steps", "final_words", "boundaries"}
+        if set(doc) != expected:
+            raise SnapshotError(
+                f"golden-run payload fields {sorted(doc)} != "
+                f"{sorted(expected)}"
+            )
+        if doc["v"] != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"golden-run payload version {doc['v']!r} != "
+                f"{SNAPSHOT_VERSION}"
+            )
+        total_steps = doc["total_steps"]
+        if isinstance(total_steps, bool) or not isinstance(total_steps, int):
+            raise SnapshotError("golden-run total_steps must be an int")
+        if not isinstance(doc["boundaries"], list) or not doc["boundaries"]:
+            raise SnapshotError("golden-run boundaries must be non-empty")
+        return cls(
+            total_steps=total_steps,
+            final_words=doc["final_words"],
+            boundaries=[
+                SimSnapshot.from_payload(b) for b in doc["boundaries"]
+            ],
+        )
+
+    def to_bytes(self) -> bytes:
+        from repro.sim.snapshot import encode_payload
+
+        return encode_payload(self.to_payload())
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "GoldenRun":
+        from repro.sim.snapshot import decode_payload
+
+        return cls.from_payload(decode_payload(blob))
+
+
+def run_golden(spec: TrialSpec, engine: str = "interp") -> GoldenRun:
+    """Execute the error-free pass once, snapshotting every boundary."""
+    programs, slice_tables, config = _compiled(spec)
+    golden = _MechanismPass(
+        spec, programs, slice_tables, config, engine, capture_memory=False
+    )
+    boundaries = [golden.snapshot()]
+    while not golden.all_done:
+        golden.step()
+        if golden.at_boundary() and not golden.all_done:
+            golden.checkpoint()
+            boundaries.append(golden.snapshot())
+    return GoldenRun(
+        total_steps=golden.steps,
+        final_words=[[a, v] for a, v in golden.memory.snapshot().items()],
+        boundaries=boundaries,
+    )
+
+
+def _golden_for(
+    spec: TrialSpec,
+    engine: str,
+    store: Optional[SnapshotStore],
+) -> GoldenRun:
+    """Layered golden-run resolution: memo → snapshot store → execute.
+
+    A corrupt stored blob is quarantined and recomputed (the result
+    cache's contract); store writes are atomic and idempotent, so
+    concurrent workers racing on one key are harmless.
+    """
+    key = golden_key(spec, engine)
+    memo_key = (key, engine)
+    hit = _GOLDEN_MEMO.get(memo_key)
+    if hit is not None:
+        return hit
+    if store is not None:
+        blob = store.load(key)
+        if blob is not None:
+            try:
+                run = GoldenRun.from_bytes(blob)
+            except SnapshotError:
+                store.quarantine(key)
+            else:
+                _memo_put(_GOLDEN_MEMO, memo_key, run)
+                return run
+    run = run_golden(spec, engine)
+    if store is not None:
+        store.save(key, run.to_bytes())
+    _memo_put(_GOLDEN_MEMO, memo_key, run)
+    return run
+
+
+def fork(
+    spec: TrialSpec,
+    snapshot: SimSnapshot,
+    n: int = 1,
+    engine: str = "interp",
+) -> List["_MechanismPass"]:
+    """``n`` independent passes resumed from one boundary snapshot.
+
+    Each fork gets its own memory image, checkpoint store, directory,
+    handler and interpreters (no shared mutable state between forks),
+    but programs and Slices come from the shared deterministic compile
+    — forking is O(state size), never O(simulated work).
+    """
+    check_positive("n", n)
+    programs, slice_tables, config = _compiled(spec)
+    forks = []
+    for _ in range(n):
+        child = _MechanismPass(
+            spec, programs, slice_tables, config, engine,
+            capture_memory=False,
+        )
+        child.restore_snapshot(snapshot)
+        forks.append(child)
+    return forks
 
 
 def run_trial(
@@ -750,26 +1216,55 @@ def run_trial(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     engine: str = "interp",
+    snapshots: bool = False,
+    snapshot_store: Optional[SnapshotStore] = None,
 ) -> TrialResult:
     """Execute one fault-injection trial; see the module doc for shape.
 
     ``engine`` selects the interpreter flavour for both passes; like the
     simulator's knob it never reaches the trial cache key — results are
     bit-identical across engines (pinned by the equivalence suite).
+
+    ``snapshots=True`` switches to the forked execution plan: the golden
+    pass for this recipe runs (at most) once — resolved through the
+    in-process memo and optional ``snapshot_store`` — with a boundary
+    snapshot per interval, and the faulty pass *forks* from the newest
+    boundary at or before the injection step instead of replaying from
+    step zero.  The flag is an execution-plan knob like ``engine``:
+    results are bit-identical either way (pinned by the fork-equivalence
+    suite), so it never reaches the trial cache key.
     """
-    golden, faulty = _build_passes(spec, engine)
-    golden.run_to_end()
-    total_steps = golden.steps
+    golden: Optional[_MechanismPass] = None
+    golden_run: Optional[GoldenRun] = None
+    if snapshots:
+        golden_run = _golden_for(spec, engine, snapshot_store)
+        total_steps = golden_run.total_steps
+    else:
+        golden, faulty = _build_passes(spec, engine)
+        golden.run_to_end()
+        total_steps = golden.steps
     if total_steps < 2:
         raise ValueError(
             f"workload {spec.workload!r} too short to inject into "
             f"({total_steps} steps) — lower iters_per_step"
         )
-    golden_final = golden.memory.snapshot()
+    golden_final = (
+        {a: v for a, v in golden_run.final_words}
+        if golden_run is not None
+        else golden.memory.snapshot()
+    )
 
     spi = spec.steps_per_interval
     rng = DeterministicRng(spec.seed, "inject")
     injection_step = rng.randint(1, total_steps - 1)
+    if golden_run is not None:
+        # Fork from the newest boundary at or before the injection: the
+        # prefix up to there is bit-identical by determinism, so only
+        # the tail from the fork point is ever re-executed.
+        faulty = fork(
+            spec, golden_run.boundaries[injection_step // spi],
+            engine=engine,
+        )[0]
     # The flip lands strictly inside its interval (mid-step), so the
     # occurrence never coincides with a checkpoint establishment — the
     # boundary tie-break is pinned by dedicated unit tests instead.
@@ -826,7 +1321,8 @@ def run_trial(
                 metrics.counter("inject.ecc_lookup_hits").inc(
                     faulty.ecc_lookup_hits
                 )
-            _record_vector_coverage(metrics, (golden, faulty))
+            passes = (faulty,) if golden is None else (golden, faulty)
+            _record_vector_coverage(metrics, passes)
         return TrialResult(
             spec=spec,
             outcome=outcome,
@@ -856,7 +1352,14 @@ def run_trial(
     defect_note = faulty.apply_rollback(logs, spec.defect)
     restored = sum(len(log.records) for log in logs)
     recomputed = sum(len(log.omitted) for log in logs)
-    expected = golden.snapshots[safe] if safe >= 0 else {}
+    if golden_run is not None:
+        expected = (
+            {a: v for a, v in golden_run.boundaries[safe + 1].memory_words}
+            if safe >= 0
+            else {}
+        )
+    else:
+        expected = golden.snapshots[safe] if safe >= 0 else {}
     checked, count, sample = _diff_memory(
         expected, faulty.memory, "rollback", safe
     )

@@ -28,7 +28,7 @@ import os
 import warnings
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 __all__ = [
     "JOURNAL_SCHEMA_VERSION",
@@ -123,10 +123,22 @@ class JournalRecord:
 
 
 class CompletionJournal:
-    """Append-only JSONL journal of completed tasks."""
+    """Append-only JSONL journal of completed tasks.
+
+    Reads are cached: :meth:`load` re-parses the file only when its
+    (mtime, size) stamp changed since the cached parse — so the
+    per-completion ``key in journal`` probes of a long campaign stay
+    O(1) instead of re-reading an ever-growing file.  Local appends
+    invalidate the cache directly; concurrent writers are caught by the
+    stamp check.
+    """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        self._cache: Optional[Dict[str, JournalRecord]] = None
+        self._cache_stamp: Optional[Tuple[int, int]] = None
+        #: Full-file parses performed (the caching contract's test hook).
+        self._parses = 0
 
     # ------------------------------------------------------------------ write --
     def append(self, record: JournalRecord) -> None:
@@ -144,8 +156,18 @@ class CompletionJournal:
         with open(self.path, "a", encoding="utf-8") as fh:
             fh.write(line)
             fh.flush()
+        self._cache = None
+        self._cache_stamp = None
 
     # ------------------------------------------------------------------- read --
+    def _stamp(self) -> Optional[Tuple[int, int]]:
+        """(mtime_ns, size) of the journal file; ``None`` when absent."""
+        try:
+            st = self.path.stat()
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
     def load(self) -> Dict[str, JournalRecord]:
         """Every journaled completion, keyed by cache key (last record
         wins for a re-journaled key).
@@ -154,7 +176,29 @@ class CompletionJournal:
         ignored; corrupt interior line ⇒ skipped with a warning; any
         record from a different schema version ⇒ the whole journal is
         discarded with a warning (resume degrades to a cold start).
+        Returns a fresh dict each call (the cache is never aliased out).
         """
+        stamp = self._stamp()
+        if (
+            self._cache is not None
+            and stamp is not None
+            and stamp == self._cache_stamp
+        ):
+            return dict(self._cache)
+        records = self._parse()
+        # Cache only a stable parse: an unchanged stamp across the read
+        # means no concurrent writer landed mid-parse.
+        if stamp is not None and self._stamp() == stamp:
+            self._cache = records
+            self._cache_stamp = stamp
+        else:
+            self._cache = None
+            self._cache_stamp = None
+        return dict(records)
+
+    def _parse(self) -> Dict[str, JournalRecord]:
+        """One full-file parse (see :meth:`load` for the tolerances)."""
+        self._parses += 1
         try:
             raw = self.path.read_text(encoding="utf-8")
         except OSError:

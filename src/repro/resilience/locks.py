@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 import time
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 __all__ = ["KeyLock"]
 
@@ -90,17 +90,54 @@ class KeyLock:
         except OSError:
             pass
 
-    def _break_if_stale(self) -> None:
-        """Expire a lock whose mtime says its owner is long gone."""
-        try:
-            age = time.time() - self.path.stat().st_mtime
-        except OSError:
+    # -------------------------------------------------------------- liveness --
+    def heartbeat(self) -> None:
+        """Refresh the lockfile mtime to signal the owner is alive.
+
+        Staleness is judged by mtime, so an owner legitimately holding
+        the lock longer than ``stale_s`` would get broken by a waiting
+        peer.  Long-running owners call this periodically (the
+        supervised pool touches its locks per completed task); a no-op
+        without ownership, best-effort like everything else here.
+        """
+        if not self.owned:
             return
-        if age > self.stale_s:
-            try:
-                self.path.unlink()
-            except OSError:
-                pass
+        try:
+            os.utime(self.path)
+        except OSError:
+            pass
+
+    def _mtime(self) -> Optional[float]:
+        """The lockfile's current mtime, or ``None`` when unreadable.
+
+        The single stat point of the staleness protocol (and its test
+        seam: scripted subclasses replay stat races deterministically).
+        """
+        try:
+            return self.path.stat().st_mtime
+        except OSError:
+            return None
+
+    def _break_if_stale(self) -> None:
+        """Expire a lock whose mtime says its owner is long gone.
+
+        Staleness is confirmed by **two** reads: between a single stat
+        and the unlink, the stale lock's owner could release and another
+        process recreate the file, and the unlink would then break the
+        *fresh* lock.  A second stat immediately before unlinking keeps
+        that window to the instruction gap (best-effort by design — a
+        lost lock costs a duplicated simulation, not correctness).
+        """
+        mtime = self._mtime()
+        if mtime is None or time.time() - mtime <= self.stale_s:
+            return
+        mtime = self._mtime()
+        if mtime is None or time.time() - mtime <= self.stale_s:
+            return
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
 
     # ------------------------------------------------------------ context use --
     def __enter__(self) -> bool:

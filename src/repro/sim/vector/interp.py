@@ -105,6 +105,18 @@ class VectorInterpreter(Interpreter):
         super().restore_arch_state(state)
         self._taint_kernel = self._kernel_index if not self.done else -1
 
+    def adopt_arch_state(self, state: Tuple[int, int, List[int]]) -> None:
+        """Install forked-prefix state without tainting the kernel.
+
+        A snapshot fork adopts state captured from a bit-identical
+        deterministic prefix, so the entering register file matches the
+        plan rows by construction — pessimising to the classic loop
+        (as :meth:`restore_arch_state` must, for rollback/injection
+        restores) would skew the fork's coverage and speed for no
+        soundness gain.
+        """
+        Interpreter.restore_arch_state(self, state)
+
     def _count_fallback(self, reason: str, iterations: int) -> None:
         self.fallback_iterations += iterations
         self.fallback_reasons[reason] = (

@@ -49,6 +49,21 @@ class DeterministicRng:
         """Return an independent stream derived from this one."""
         return DeterministicRng(derive_seed(self.seed, label), label)
 
+    # -- stream position (simulator snapshots) -----------------------------
+    def getstate(self) -> tuple:
+        """The underlying stream position (JSON round-trippable via
+        :meth:`setstate`, which re-tuples decoded lists)."""
+        return self._rng.getstate()
+
+    def setstate(self, state: Sequence) -> None:
+        """Restore a position from :meth:`getstate`.
+
+        Accepts the original tuple or its JSON round-trip (lists), so
+        snapshot payloads can carry stream positions as plain data.
+        """
+        version, internal, gauss = state
+        self._rng.setstate((version, tuple(internal), gauss))
+
     # -- primitive draws ---------------------------------------------------
     def randint(self, lo: int, hi: int) -> int:
         """Uniform integer in ``[lo, hi]`` inclusive."""

@@ -26,11 +26,26 @@ class TestBuildTrials:
         assert {s.workload for s in acr} == {"cg", "dc"}
         assert {s.target for s in acr} == {"mem", "log", "addrmap", "arch"}
 
+    def test_rotation_covers_every_workload_target_pair(self):
+        # Regression: a shared `i mod ·` rotation over equal-length
+        # workload and target lists only ever visits pairs congruent
+        # mod gcd(W, T) — with W = T = 4, 4 of the 16 pairs.  The
+        # decoupled rotation must cover the full product by W * T.
+        workloads = ["bt", "cg", "dc", "ft"]
+        specs = build_trials(workloads, trials=16, configs=["ACR"])
+        pairs = {(s.workload, s.target) for s in specs}
+        assert pairs == {
+            (w, t) for w in workloads
+            for t in ("mem", "log", "addrmap", "arch")
+        }
+
     def test_seeds_distinct_and_based(self):
         specs = build_trials(["cg"], trials=4, seed=100)
         acr = [s for s in specs if s.config == "ACR"]
         assert [s.seed for s in acr] == [100, 101, 102, 103]
-        assert all(s.memory_seed == s.seed for s in acr)
+        # The memory image uses the campaign seed for every trial, so
+        # all trials of one (workload, config) share a golden pass.
+        assert all(s.memory_seed == 100 for s in acr)
 
     def test_same_seed_across_configs(self):
         # BER and ACR trial i share the seed: the sweep compares the two
@@ -139,6 +154,20 @@ class TestCampaignReport:
         assert len(doc["divergent"]) == report.diverged
         first = doc["divergent"][0]
         assert first["divergences"][0]["address"] > 0
+
+    def test_unknown_outcome_counted_not_crashed(self):
+        # Regression: to_json_dict() used to KeyError on any outcome
+        # outside OUTCOMES; a newer producer's vocabulary must land
+        # under its own key instead of crashing the report writer.
+        import dataclasses
+
+        base = run_trial(TrialSpec(workload="cg"))
+        odd = dataclasses.replace(base, outcome="quarantined")
+        report = CampaignReport([base, odd])
+        doc = report.to_json_dict()
+        assert doc["outcomes"]["recovered-exact"] == 1
+        assert doc["outcomes"]["quarantined"] == 1
+        assert doc["outcomes"]["diverged"] == 0
 
     def test_json_report_is_valid_json(self, tmp_path):
         report = CampaignReport([run_trial(s) for s in small_specs(1)])

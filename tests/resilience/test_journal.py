@@ -113,3 +113,42 @@ def test_record_validation():
         JournalRecord(key="a", kind="run", label="x", attempts=0, seconds=0.0)
     with pytest.raises(ValueError):
         JournalRecord.from_dict(["not", "a", "dict"])
+
+
+class TestLoadCache:
+    # `_parses` counts full file re-parses — the caching contract's
+    # test hook.  Warm membership probes must not re-read the file;
+    # any append (ours or an external writer's) must invalidate.
+
+    def test_membership_probes_do_not_reparse(self, tmp_path):
+        journal = CompletionJournal(tmp_path / "journal.jsonl")
+        for key in ("aa", "bb", "cc"):
+            journal.append(_sample(key))
+        assert len(journal) == 3
+        parses = journal._parses
+        for _ in range(25):
+            assert "aa" in journal
+            assert "zz" not in journal
+            assert len(journal) == 3
+        assert journal._parses == parses
+
+    def test_append_invalidates_cache(self, tmp_path):
+        journal = CompletionJournal(tmp_path / "journal.jsonl")
+        journal.append(_sample("aa"))
+        assert "aa" in journal
+        journal.append(_sample("bb"))
+        assert "bb" in journal  # stale cache would miss this
+
+    def test_external_append_detected_by_stamp(self, tmp_path):
+        journal = CompletionJournal(tmp_path / "journal.jsonl")
+        journal.append(_sample("aa"))
+        assert len(journal) == 1
+        writer = CompletionJournal(journal.path)  # another process
+        writer.append(_sample("bb"))
+        assert set(journal.load()) == {"aa", "bb"}
+
+    def test_loaded_mapping_is_a_private_copy(self, tmp_path):
+        journal = CompletionJournal(tmp_path / "journal.jsonl")
+        journal.append(_sample("aa"))
+        journal.load().clear()  # caller mutation must not poison cache
+        assert "aa" in journal

@@ -68,3 +68,57 @@ def test_context_manager(tmp_path):
         assert acquired
         assert path.exists()
     assert not path.exists()
+
+
+class _ScriptedMtime(KeyLock):
+    """Replays a fixed sequence of `_mtime` readings (stat-race rig)."""
+
+    def __init__(self, *args, script, **kw):
+        super().__init__(*args, **kw)
+        self._script = list(script)
+
+    def _mtime(self):
+        return self._script.pop(0)
+
+
+def test_stale_break_reverifies_before_unlink(tmp_path):
+    # Regression (TOCTOU): between the staleness stat and the unlink,
+    # the owner may have refreshed (or re-created) the lock.  A second
+    # reading that comes back fresh must abort the break — otherwise we
+    # would unlink a *live* owner's lock and let two workers in.
+    path = tmp_path / "k.lock"
+    path.write_text("99999\n")
+    import time as _time
+    stale = _time.time() - 3600
+    lock = _ScriptedMtime(path, stale_s=600.0, script=[stale, _time.time()])
+    lock._break_if_stale()
+    assert path.exists(), "live lock was unlinked on a stale first stat"
+    # Both readings stale: the break proceeds.
+    lock = _ScriptedMtime(path, stale_s=600.0, script=[stale, stale])
+    lock._break_if_stale()
+    assert not path.exists()
+
+
+def test_heartbeat_refreshes_mtime_and_defeats_breaking(tmp_path):
+    path = tmp_path / "k.lock"
+    lock = KeyLock(path, stale_s=600.0)
+    assert lock.try_acquire()
+    old = path.stat().st_mtime - 3600
+    os.utime(path, (old, old))
+    lock.heartbeat()
+    assert path.stat().st_mtime > old + 3000
+    # A freshly heartbeated lock no longer reads as stale.
+    assert not KeyLock(path, stale_s=600.0).try_acquire()
+    lock.release()
+
+
+def test_heartbeat_is_noop_when_not_owned(tmp_path):
+    path = tmp_path / "k.lock"
+    lock = KeyLock(path)
+    lock.heartbeat()  # never acquired: must not create the file
+    assert not path.exists()
+    assert lock.try_acquire()
+    path.unlink()  # externally broken
+    lock.heartbeat()  # must not resurrect or raise
+    assert not path.exists()
+    lock.release()

@@ -1,0 +1,236 @@
+"""Snapshot codec contracts: round-trip, fixed point, corruption.
+
+Property-based where the contract is universal (any payload survives the
+byte codec unchanged; any single-byte corruption or truncation is
+rejected with :class:`SnapshotError`), example-based for the strict
+payload validation of :class:`SimSnapshot` and the store's quarantine
+semantics.  The *semantic* fidelity of captured state (forked execution
+bit-identical to straight-through) lives in
+``tests/inject/test_snapshot_fork.py``.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    SimSnapshot,
+    SnapshotError,
+    SnapshotStore,
+    decode_payload,
+    encode_payload,
+)
+
+# JSON-able payloads (no floats: canonical-JSON fixed-point testing
+# wants exact values; snapshots themselves carry float wall times but
+# those round-trip exactly through repr-based json anyway).
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**63), max_value=2**63)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+_HEADER = len(SNAPSHOT_MAGIC) + 1 + 16
+
+
+class TestByteCodec:
+    @settings(max_examples=60, deadline=None)
+    @given(payload=json_values)
+    def test_round_trip_and_fixed_point(self, payload):
+        blob = encode_payload(payload)
+        assert decode_payload(blob) == payload
+        # Canonical JSON: re-encoding the decoded payload reproduces
+        # the blob byte for byte.
+        assert encode_payload(decode_payload(blob)) == blob
+
+    @settings(max_examples=40, deadline=None)
+    @given(payload=json_values, data=st.data())
+    def test_truncation_rejected(self, payload, data):
+        blob = encode_payload(payload)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        with pytest.raises(SnapshotError):
+            decode_payload(blob[:cut])
+
+    @settings(max_examples=60, deadline=None)
+    @given(payload=json_values, data=st.data())
+    def test_any_single_byte_corruption_rejected(self, payload, data):
+        blob = bytearray(encode_payload(payload))
+        pos = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        blob[pos] ^= flip
+        with pytest.raises(SnapshotError):
+            decode_payload(bytes(blob))
+
+    def test_bad_magic_and_version_messages(self):
+        blob = encode_payload({"x": 1})
+        with pytest.raises(SnapshotError, match="magic"):
+            decode_payload(b"NOTSNAP" + blob[len(SNAPSHOT_MAGIC):])
+        bumped = (
+            blob[: len(SNAPSHOT_MAGIC)]
+            + bytes([SNAPSHOT_VERSION + 1])
+            + blob[len(SNAPSHOT_MAGIC) + 1:]
+        )
+        with pytest.raises(SnapshotError, match="version"):
+            decode_payload(bumped)
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(SnapshotError):
+            decode_payload("not bytes")
+
+
+# -- SimSnapshot payload validation ----------------------------------------
+small = st.integers(min_value=0, max_value=1 << 16)
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+arch_rows = st.lists(
+    st.tuples(small, small, st.lists(words, max_size=4).map(list)).map(list),
+    min_size=1,
+    max_size=3,
+)
+
+
+def empty_log(interval=0):
+    return {"interval": interval, "records": [], "omitted": []}
+
+
+@st.composite
+def snapshots(draw):
+    """Structurally valid snapshots, BER- or ACR-shaped."""
+    acr = draw(st.booleans())
+    arch = draw(arch_rows)
+    cores = len(arch)
+    entries = []
+    if acr:
+        entries = draw(st.lists(
+            st.tuples(
+                st.integers(0, cores - 1), small, words,
+                st.lists(words, max_size=3).map(list),
+            ).map(list),
+            max_size=4,
+        ))
+    gen = {"entries": [], "tombstones": []}
+    return SimSnapshot(
+        memory_seed=draw(words),
+        memory_words=draw(st.lists(
+            st.tuples(words, words).map(list), max_size=6
+        )),
+        step=draw(small),
+        n_instructions=draw(small),
+        ecc_lookup_hits=draw(small),
+        directory_log_bits=sorted(draw(st.sets(words, max_size=4))),
+        entries=entries,
+        open_log=empty_log(),
+        checkpoints=[],
+        addrmaps=(
+            [{"open": gen, "committed": [], "records": 0, "rejections": 0}]
+            * cores if acr else None
+        ),
+        operand_buffers=(
+            [{"words": 0, "peak_words": 0, "rejections": 0}] * cores
+            if acr else None
+        ),
+        gen_words=[[0]] * cores if acr else None,
+        handler_counters=(
+            {"assoc_executed": 0, "omissions": 0, "omission_lookups": 0}
+            if acr else None
+        ),
+        arch=arch,
+        initial_arch=[[0, 0, []] for _ in range(cores)],
+        arch_history=[],
+        rng_states={},
+    )
+
+
+class TestSimSnapshotCodec:
+    @settings(max_examples=50, deadline=None)
+    @given(snap=snapshots())
+    def test_payload_and_bytes_round_trip(self, snap):
+        assert SimSnapshot.from_payload(snap.to_payload()) == snap
+        blob = snap.to_bytes()
+        assert SimSnapshot.from_bytes(blob) == snap
+        # Byte-level fixed point: serialization is deterministic.
+        assert SimSnapshot.from_bytes(blob).to_bytes() == blob
+
+    def _payload(self):
+        return SimSnapshot(
+            memory_seed=0, memory_words=[], step=0, n_instructions=0,
+            ecc_lookup_hits=0, directory_log_bits=[], entries=[],
+            open_log=empty_log(), checkpoints=[], addrmaps=None,
+            operand_buffers=None, gen_words=None, handler_counters=None,
+            arch=[[0, 0, []]], initial_arch=[[0, 0, []]],
+            arch_history=[], rng_states={},
+        ).to_payload()
+
+    def test_missing_and_extra_fields_rejected(self):
+        doc = self._payload()
+        del doc["memory_words"]
+        with pytest.raises(SnapshotError, match="missing"):
+            SimSnapshot.from_payload(doc)
+        doc = self._payload()
+        doc["surprise"] = 1
+        with pytest.raises(SnapshotError, match="unexpected"):
+            SimSnapshot.from_payload(doc)
+
+    def test_version_drift_rejected(self):
+        doc = self._payload()
+        doc["v"] = SNAPSHOT_VERSION + 1
+        with pytest.raises(SnapshotError, match="version"):
+            SimSnapshot.from_payload(doc)
+
+    def test_mixed_acr_fields_rejected(self):
+        doc = self._payload()
+        doc["gen_words"] = [[0]]  # ACR field without its siblings
+        with pytest.raises(SnapshotError, match="mixes"):
+            SimSnapshot.from_payload(doc)
+
+    def test_bad_row_shapes_rejected(self):
+        for field, bad in (
+            ("memory_words", [[1, 2, 3]]),
+            ("entries", [[0, 0, 0]]),
+            ("arch", [[0, 0]]),
+            ("initial_arch", [0]),
+        ):
+            doc = self._payload()
+            doc[field] = bad
+            with pytest.raises(SnapshotError):
+                SimSnapshot.from_payload(doc)
+
+    def test_bool_not_accepted_as_int(self):
+        doc = self._payload()
+        doc["step"] = True
+        with pytest.raises(SnapshotError, match="int"):
+            SimSnapshot.from_payload(doc)
+
+
+class TestSnapshotStore:
+    KEY = "ab" * 32
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        blob = encode_payload({"hello": 1})
+        store.save(self.KEY, blob)
+        assert store.load(self.KEY) == blob
+        # Two-level fan-out like the result cache.
+        assert store.path_for(self.KEY).parent.name == self.KEY[:2]
+
+    def test_miss_is_none(self, tmp_path):
+        assert SnapshotStore(tmp_path).load(self.KEY) is None
+
+    def test_quarantine_turns_corruption_into_miss(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save(self.KEY, b"garbage")
+        with pytest.raises(SnapshotError):
+            decode_payload(store.load(self.KEY))
+        store.quarantine(self.KEY)
+        assert store.load(self.KEY) is None
+        store.quarantine(self.KEY)  # idempotent
+
+    def test_non_hex_keys_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        for key in ("", "../etc/passwd", "ABCD", "xyz"):
+            with pytest.raises(ValueError):
+                store.path_for(key)
