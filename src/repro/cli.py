@@ -29,7 +29,16 @@ Installed as ``acr-repro`` (or run with ``python -m repro.cli``):
 * ``acr-repro monitor --replay``  — render a recorded campaign-telemetry
   snapshot stream (``report``/``run``/``inject`` write one with
   ``--snapshots``; ``--live`` additionally shows it as a live dashboard
-  while the campaign runs).
+  while the campaign runs); ``--attach SOCKET`` renders a running
+  campaign *daemon*'s frame stream live instead;
+* ``acr-repro serve``             — run the campaign scheduler daemon:
+  submissions over a Unix socket, results from a sharded replicated
+  store that survives shard loss, concurrent clients deduped through
+  in-flight leases;
+* ``acr-repro submit bt ...``     — run a campaign on the daemon (or
+  ``--solo`` in-process) and print/write its deterministic report —
+  byte-identical across both paths;
+* ``acr-repro shutdown``          — stop a running daemon.
 """
 
 from __future__ import annotations
@@ -222,6 +231,7 @@ def _runner(args) -> ExperimentRunner:
 def _print_resilience(runner: ExperimentRunner) -> None:
     """The supervised-execution footer: zeros are printed, not elided."""
     print(runner.progress.resilience_line())
+    print(runner.progress.cache_line())
     report = runner.last_failure_report
     if report is not None and report.tasks:
         print(report.summary_table())
@@ -666,7 +676,150 @@ def cmd_inject(args) -> int:
 def cmd_monitor(args) -> int:
     from repro.obs.telemetry import replay
 
+    if args.attach is not None:
+        return _monitor_attach(args.attach)
+    if args.replay is None:
+        print("acr-repro: error: monitor needs --replay or --attach",
+              file=sys.stderr)
+        return 2
     return replay(args.replay)
+
+
+def _monitor_attach(socket_path: str) -> int:
+    """Subscribe to a running daemon's frame stream and render it live —
+    the remote flavour of the ``--live`` dashboard."""
+    from repro.obs.telemetry import CampaignTelemetry, Monitor
+    from repro.service import CampaignClient, ServiceError
+
+    telemetry = CampaignTelemetry()
+    Monitor(stream=sys.stderr).attach(telemetry)
+    try:
+        with CampaignClient(socket_path) as client:
+            client.watch(telemetry.on_frame_dict)
+    except ServiceError as exc:
+        print(f"acr-repro: monitor: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    print(
+        f"\nmonitor: {telemetry.frames} frames "
+        f"({telemetry.malformed} malformed)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _campaign_spec(args):
+    """The CampaignSpec the ``submit`` flags describe (shared by the
+    service and ``--solo`` paths, so both name the same key set)."""
+    from repro.service import CampaignSpec
+
+    return CampaignSpec(
+        workloads=tuple(args.benchmarks or all_workload_names()),
+        configs=tuple(args.configs),
+        num_cores=args.cores,
+        region_scale=args.scale,
+        reps=args.reps,
+        num_checkpoints=args.checkpoints,
+        error_count=args.errors,
+        threshold=args.threshold,
+        memory_seed=args.seed,
+        engine=args.engine,
+    )
+
+
+def _emit_report(report: Dict[str, Any], json_path: Optional[str]) -> None:
+    """Render one campaign report; optionally persist it as canonical
+    JSON.  Both the service and ``--solo`` paths go through this exact
+    writer, so their files compare byte-equal with ``cmp``."""
+    from repro.service.campaigns import render_report
+
+    print(render_report(report))
+    if json_path:
+        from pathlib import Path as _Path
+
+        _Path(json_path).write_text(
+            json.dumps(report, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"json report: {json_path}")
+
+
+def cmd_serve(args) -> int:
+    from repro.service import CampaignDaemon
+
+    daemon = CampaignDaemon(
+        args.cache_dir,
+        args.socket,
+        shards=args.shards,
+        replicas=args.replicas,
+        jobs=args.jobs,
+        heartbeat_s=args.heartbeat,
+        resilience=_policy(args),
+        echo=lambda line: print(f"serve: {line}", file=sys.stderr),
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.stop()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.service import CampaignClient, campaign_report
+
+    known = all_workload_names()
+    unknown = [b for b in args.benchmarks if b not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark(s) {', '.join(unknown)} "
+            f"(choose from {', '.join(known)})"
+        )
+    spec = _campaign_spec(args)
+    if args.solo:
+        if args.cache_dir is None:
+            raise ValueError("--solo needs --cache-dir")
+        runner = ExperimentRunner(
+            num_cores=spec.num_cores, region_scale=spec.region_scale,
+            reps=spec.reps, jobs=args.jobs, cache_dir=args.cache_dir,
+            engine=spec.engine,
+        )
+        _emit_report(campaign_report(runner, spec), args.json)
+        return 0
+    if args.socket is None:
+        raise ValueError("submit needs --socket (or --solo --cache-dir)")
+    on_frame = None
+    if args.stream:
+        from repro.obs.telemetry import CampaignTelemetry, Monitor
+
+        telemetry = CampaignTelemetry()
+        Monitor(stream=sys.stderr).attach(telemetry)
+        on_frame = telemetry.on_frame_dict
+    from repro.service import ServiceError
+
+    try:
+        with CampaignClient(args.socket) as client:
+            report = client.submit(
+                spec, stream=args.stream, on_frame=on_frame
+            )
+    except ServiceError as exc:
+        print(f"acr-repro: submit: {exc}", file=sys.stderr)
+        return 2
+    _emit_report(report, args.json)
+    return 0
+
+
+def cmd_shutdown(args) -> int:
+    from repro.service import CampaignClient, ServiceError
+
+    try:
+        with CampaignClient(args.socket) as client:
+            client.shutdown()
+    except ServiceError as exc:
+        print(f"acr-repro: shutdown: {exc}", file=sys.stderr)
+        return 2
+    print("daemon shutting down", file=sys.stderr)
+    return 0
 
 
 def cmd_baselines(args) -> int:
@@ -867,13 +1020,97 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "monitor",
         help="replay a recorded telemetry snapshot stream as the live "
-             "dashboard would have rendered it",
+             "dashboard would have rendered it, or attach to a running "
+             "campaign daemon's live frame stream",
     )
-    p.add_argument("--replay", type=str, required=True,
+    p.add_argument("--replay", type=str, default=None,
                    metavar="SNAPSHOTS",
                    help="telemetry snapshot JSONL (telemetry.jsonl beside "
                         "the completion journal, or --snapshots PATH)")
+    p.add_argument("--attach", type=str, default=None, metavar="SOCKET",
+                   help="subscribe to the campaign daemon at this Unix "
+                        "socket and render its frames live")
     p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the campaign scheduler daemon: submissions over a Unix "
+             "socket, results from a sharded replicated store (R copies "
+             "per entry; shard loss costs nothing, majority loss "
+             "degrades to direct-disk serving)",
+    )
+    p.add_argument("--socket", type=str, required=True,
+                   help="Unix socket path to listen on (keep it short: "
+                        "AF_UNIX caps ~100 bytes)")
+    p.add_argument("--cache-dir", type=str, required=True,
+                   help="the durable result store the shards replicate "
+                        "(content-addressed, versioned)")
+    p.add_argument("--shards", type=_positive_int, default=4,
+                   help="shard processes partitioning the keyspace")
+    p.add_argument("--replicas", type=_positive_int, default=2,
+                   help="copies per entry (primary + ring successors)")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes per campaign")
+    p.add_argument("--heartbeat", type=float, default=0.5,
+                   metavar="SECONDS",
+                   help="shard liveness-check period")
+    p.add_argument("--timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-task wall-clock timeout for supervised "
+                        "workers (default: none)")
+    p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="retries per failed/timed-out/killed task "
+                        "(default: 2; deterministic backoff)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="run a campaign on the daemon (or --solo in-process) and "
+             "print its deterministic report — byte-identical across "
+             "both paths",
+    )
+    p.add_argument("benchmarks", nargs="*", metavar="benchmark",
+                   help="workloads to sweep (default: all)")
+    p.add_argument("--configs", type=_name_list(CONFIG_NAMES),
+                   default=[c for c in CONFIG_NAMES if c != "NoCkpt"],
+                   metavar="NAMES",
+                   help="comma-separated subset of "
+                        f"{','.join(CONFIG_NAMES)} (default: all but "
+                        "NoCkpt; baselines run implicitly)")
+    p.add_argument("--socket", type=str, default=None,
+                   help="daemon Unix socket (required unless --solo)")
+    p.add_argument("--solo", action="store_true",
+                   help="run the same campaign in-process instead (for "
+                        "comparing reports against the service)")
+    p.add_argument("--stream", action="store_true",
+                   help="stream the daemon's telemetry frames into a "
+                        "live dashboard on stderr")
+    p.add_argument("--checkpoints", type=int, default=25)
+    p.add_argument("--errors", type=int, default=1)
+    p.add_argument("--threshold", type=int, default=None,
+                   help="slice-length threshold (default: per workload)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="memory seed shared by every run in the campaign")
+    p.add_argument("--scale", type=float, default=0.5,
+                   help="workload region scale (1.0 = full fidelity)")
+    p.add_argument("--cores", type=_positive_int, default=8)
+    p.add_argument("--reps", type=int, default=None)
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes (--solo only; the daemon's "
+                        "--jobs governs service runs)")
+    p.add_argument("--cache-dir", type=str, default=None,
+                   help="result cache for --solo runs")
+    p.add_argument("--engine", choices=["interp", "vector"],
+                   default="interp")
+    p.add_argument("--json", type=str, default=None,
+                   help="also write the report as canonical JSON "
+                        "(byte-identical across service/solo paths)")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("shutdown", help="stop a running campaign daemon")
+    p.add_argument("--socket", type=str, required=True,
+                   help="the daemon's Unix socket")
+    p.set_defaults(func=cmd_shutdown)
 
     p = sub.add_parser("baselines", help="what-if checkpointing baselines")
     p.add_argument("benchmark", choices=all_workload_names())

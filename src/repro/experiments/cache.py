@@ -24,14 +24,13 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Union
 
 from repro.arch.config import MachineConfig
 from repro.experiments.configs import ConfigRequest
 from repro.sim.results import RunResult
+from repro.util import atomicio
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -115,10 +114,28 @@ def trial_cache_key(spec: Any) -> str:
 
 
 class ResultCache:
-    """On-disk store of serialised run results, keyed by content hash."""
+    """On-disk store of serialised run results, keyed by content hash.
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    Quarantines are counted (``quarantined``), mirrored into ``metrics``
+    as the ``cache.quarantined`` counter when a
+    :class:`~repro.obs.metrics.MetricsRegistry` is attached, and reported
+    through the optional ``on_quarantine`` hook — corruption must be
+    visible, not just survivable.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        on_quarantine: Optional[Callable[[Path], None]] = None,
+        metrics: Optional[Any] = None,
+    ) -> None:
         self.root = Path(root)
+        #: Corrupt entries deleted by this cache instance so far.
+        self.quarantined = 0
+        #: Called with the quarantined path after each deletion.
+        self.on_quarantine = on_quarantine
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` mirror.
+        self.metrics = metrics
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except FileExistsError as exc:
@@ -209,7 +226,6 @@ class ResultCache:
     def store_payload(self, key: str, result: Any, kind: str) -> Path:
         """Persist a JSON-safe payload under ``key``; returns the path."""
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {
             "schema": CACHE_SCHEMA_VERSION,
             "code": _package_version(),
@@ -218,20 +234,9 @@ class ResultCache:
             "result": result,
         }
         payload = json.dumps(envelope, sort_keys=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        return atomicio.atomic_write_text(
+            path, payload, prefix=f".{key[:8]}."
         )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(payload)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
 
     # -------------------------------------------------------------- management --
     def __contains__(self, key: str) -> bool:
@@ -265,10 +270,14 @@ class ResultCache:
         """Remove ``key``'s entry (a caller-detected corrupt payload)."""
         self._quarantine(self.path_for(key))
 
-    @staticmethod
-    def _quarantine(path: Path) -> None:
-        """Remove a corrupt entry so the rewrite starts clean."""
-        try:
-            path.unlink()
-        except OSError:
-            pass
+    def _quarantine(self, path: Path) -> None:
+        """Remove a corrupt entry so the rewrite starts clean, and make
+        the deletion visible (count, metrics counter, hook).  A path that
+        is already gone counts as nothing-to-quarantine."""
+        if not atomicio.quarantine(path):
+            return
+        self.quarantined += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache.quarantined").inc()
+        if self.on_quarantine is not None:
+            self.on_quarantine(path)

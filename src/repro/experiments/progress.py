@@ -83,6 +83,10 @@ class ProgressTracker:
     telemetry_frames: int = 0
     telemetry_snapshots: int = 0
     telemetry_attached: bool = False
+    # Cache-corruption accounting: entries the ResultCache deleted after
+    # a failed decode.  Always shown with a visible zero — a clean cache
+    # is an assertion, not a gap.
+    quarantined: int = 0
 
     # ------------------------------------------------------------------ events --
     def record(self, workload: str, config: str, source: str,
@@ -146,6 +150,12 @@ class ProgressTracker:
     def record_forked(self, n: int = 1) -> None:
         """Count trials executed on the forked-snapshot plan."""
         self.forked_trials += n
+
+    def record_quarantine(self, n: int = 1) -> None:
+        """Count cache entries quarantined (deleted as corrupt)."""
+        self.quarantined += n
+        if self.echo is not None:
+            self.echo("[quarantine] corrupt cache entry deleted")
 
     def record_telemetry(self, frames: int, snapshots: int) -> None:
         """Record a finished campaign's telemetry totals (frame count
@@ -238,6 +248,7 @@ class ProgressTracker:
         if self.forked_trials:
             footers.append(self.forked_line())
         footers.append(self.resilience_line())
+        footers.append(self.cache_line())
         if self.telemetry_attached:
             footers.append(self.telemetry_line())
         width = max(len(line.split(":", 1)[0]) for line in footers)
@@ -271,6 +282,12 @@ class ProgressTracker:
             f"{self.resumed} resumed from journal"
         )
 
+    def cache_line(self) -> str:
+        """One-line cache-integrity summary (zero on a healthy cache)."""
+        return (
+            f"cache: {self.quarantined} corrupt entries quarantined"
+        )
+
     def telemetry_line(self) -> str:
         """One-line live-telemetry summary (only shown when a campaign
         ran with telemetry attached; zeros stay visible)."""
@@ -298,6 +315,7 @@ class ProgressTracker:
         self.telemetry_frames = 0
         self.telemetry_snapshots = 0
         self.telemetry_attached = False
+        self.quarantined = 0
 
 
 class _Timer:

@@ -176,6 +176,7 @@ class ExperimentRunner:
         telemetry=None,
         snapshots: bool = True,
         snapshot_dir: Optional[Union[str, Path]] = None,
+        cache: Optional[ResultCache] = None,
     ) -> None:
         check_positive("num_cores", num_cores)
         check_positive("region_scale", region_scale)
@@ -206,10 +207,17 @@ class ExperimentRunner:
             if self.snapshot_dir is not None
             else None
         )
-        self.cache: Optional[ResultCache] = (
-            ResultCache(cache_dir) if cache_dir is not None else None
-        )
         self.progress = progress if progress is not None else ProgressTracker()
+        # A caller-provided cache object (e.g. the campaign service's
+        # replicated store) wins over ``cache_dir``; the caller then owns
+        # its quarantine/metrics wiring.  A cache built here reports its
+        # quarantines through this runner's progress + metrics.
+        self.cache: Optional[ResultCache] = cache
+        if self.cache is None and cache_dir is not None:
+            self.cache = ResultCache(
+                cache_dir,
+                on_quarantine=lambda _p: self.progress.record_quarantine(),
+            )
         #: Optional CampaignTelemetry: live frame streaming + snapshots.
         #: None (the default) keeps every execution path frame-free and
         #: byte-identical (pinned by test and benchmark guardrail).
@@ -217,6 +225,8 @@ class ExperimentRunner:
         # -- supervised execution (repro.resilience) -----------------------
         self.resilience = resilience or ResiliencePolicy()
         self.resilience_metrics = MetricsRegistry()
+        if cache is None and self.cache is not None:
+            self.cache.metrics = self.resilience_metrics
         #: Optional Tracer receiving harness-level events (task_retried,
         #: worker_died, pool_degraded, campaign_resumed).
         self.resilience_tracer: Optional[Tracer] = None

@@ -20,7 +20,7 @@ import warnings
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Union
 
-from repro.resilience.journal import tail_is_torn
+from repro.util.atomicio import append_line
 
 __all__ = [
     "TELEMETRY_SCHEMA_VERSION",
@@ -89,15 +89,7 @@ class SnapshotWriter:
         """
         doc = {"v": TELEMETRY_SCHEMA_VERSION, "kind": SNAPSHOT_KIND}
         doc.update(snapshot)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(doc, sort_keys=True) + "\n"
-        if self.written == 0 and tail_is_torn(self.path):
-            # Only the first append can meet a tear: our own appends
-            # always end in a newline.
-            line = "\n" + line
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line)
-            fh.flush()
+        append_line(self.path, json.dumps(doc, sort_keys=True))
         self._last = self._clock()
         self.written += 1
 

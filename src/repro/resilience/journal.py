@@ -24,36 +24,19 @@ tolerance):
 from __future__ import annotations
 
 import json
-import os
 import warnings
 from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.util.atomicio import append_line, tail_is_torn
+
 __all__ = [
     "JOURNAL_SCHEMA_VERSION",
     "JournalRecord",
     "CompletionJournal",
-    "tail_is_torn",
+    "tail_is_torn",  # canonical home: repro.util.atomicio (re-exported)
 ]
-
-
-def tail_is_torn(path: Union[str, Path]) -> bool:
-    """Whether ``path`` ends mid-record (a crash tore the final line).
-
-    Every committed append ends with a newline, so a file whose last
-    byte is not ``\\n`` was torn; the next append must then start on a
-    fresh line or it would merge into — and corrupt — the torn tail.
-    """
-    try:
-        with open(path, "rb") as fh:
-            fh.seek(0, os.SEEK_END)
-            if fh.tell() == 0:
-                return False
-            fh.seek(-1, os.SEEK_END)
-            return fh.read(1) != b"\n"
-    except OSError:
-        return False
 
 #: Bump when the record layout changes; old journals are then ignored
 #: (with a warning) rather than misread.
@@ -149,13 +132,7 @@ class CompletionJournal:
         new record starts on a fresh line, so the tear costs exactly the
         one half-written record, never the one after it too.
         """
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record.to_dict(), sort_keys=True) + "\n"
-        if tail_is_torn(self.path):
-            line = "\n" + line
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line)
-            fh.flush()
+        append_line(self.path, json.dumps(record.to_dict(), sort_keys=True))
         self._cache = None
         self._cache_stamp = None
 

@@ -1,0 +1,49 @@
+"""The campaign service: a long-running scheduler over a replicated store.
+
+ROADMAP item 2 — "heavy traffic from many users" — promoted into a
+subsystem.  A :class:`~repro.service.daemon.CampaignDaemon` listens on a
+local Unix socket, accepts campaign submissions as line-delimited JSON
+(:mod:`repro.service.protocol`), executes them through per-connection
+:class:`~repro.experiments.runner.ExperimentRunner`\\ s that share one
+:class:`~repro.service.store.ReplicatedStore` — the existing
+content-addressed :class:`~repro.experiments.cache.ResultCache` keyspace
+partitioned across N shard processes with R-way replication,
+heartbeat-detected shard death, re-replicating recovery, and a
+circuit-breaker degradation ladder down to direct-disk serial mode
+(ReStore's in-memory replicated storage, DESIGN §3.7).  Overlapping
+submissions dedupe through the
+:class:`~repro.service.registry.InFlightRegistry` (per-key leases): each
+canonical key simulates at most once and every subscriber receives the
+result.  :class:`~repro.service.client.CampaignClient` is the client
+library behind the ``acr-repro serve`` / ``submit`` / ``shutdown`` CLI
+verbs and ``monitor --attach``.
+"""
+
+from repro.service.campaigns import CampaignSpec, campaign_report
+from repro.service.client import CampaignClient, ServiceError, wait_for_socket
+from repro.service.daemon import CampaignDaemon
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    decode_stream,
+    encode_frame,
+)
+from repro.service.registry import InFlightRegistry
+from repro.service.store import ReplicatedStore
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CampaignClient",
+    "CampaignDaemon",
+    "CampaignSpec",
+    "InFlightRegistry",
+    "ProtocolError",
+    "ReplicatedStore",
+    "ServiceError",
+    "campaign_report",
+    "decode_frame",
+    "decode_stream",
+    "encode_frame",
+    "wait_for_socket",
+]

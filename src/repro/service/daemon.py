@@ -1,0 +1,418 @@
+"""The campaign scheduler daemon: submissions in, replicated results out.
+
+One :class:`CampaignDaemon` owns the disk cache, the
+:class:`~repro.service.store.ReplicatedStore` shard tier, and a Unix
+socket listener.  Each client connection gets a handler thread and — per
+``submit`` — its own :class:`~repro.experiments.runner.ExperimentRunner`
+(injected with the shared store via the runner's ``cache=`` parameter)
+plus its own :class:`~repro.service.registry.InFlightRegistry`, so
+concurrent submissions dedupe through filesystem leases exactly like
+independent processes would.  The accept loop doubles as the shard
+heartbeat: every ``heartbeat_s`` the store pings its shards, respawning
+and re-replicating dead ones (or tripping the degradation breaker).
+
+Submissions run in two claimed phases — baselines, then dependents — so
+a client whose baseline lease went to a peer *waits* for the published
+entry instead of re-simulating it; that ordering is what makes the
+dedupe proof exact (total simulations == unique canonical keys).
+
+Telemetry frames stream back over the wire: the submitting connection
+(``stream``) and any global ``watch`` subscribers receive every frame a
+campaign emits, so ``acr-repro monitor --attach`` renders a remote
+campaign live.  A client that disappears mid-stream is dropped, never
+crashed into — the campaign completes and stores regardless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.progress import ProgressTracker
+from repro.experiments.runner import ExperimentRunner
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry.aggregate import CampaignTelemetry
+from repro.resilience.policy import ResiliencePolicy
+from repro.service.campaigns import CampaignSpec, campaign_report
+from repro.service.protocol import decode_stream, encode_frame
+from repro.service.registry import InFlightRegistry
+from repro.service.store import ReplicatedStore
+from repro.util.atomicio import append_line
+
+__all__ = ["CampaignDaemon", "check_socket_path"]
+
+#: Portable AF_UNIX ``sun_path`` budget (Linux 108, macOS 104, minus NUL).
+_MAX_SOCKET_PATH = 100
+
+
+def check_socket_path(path: Union[str, Path]) -> Path:
+    """Validate an AF_UNIX socket path (length is the silent killer:
+    overlong paths fail with EINVAL deep inside ``bind``)."""
+    path = Path(path)
+    if len(os.fsencode(str(path))) > _MAX_SOCKET_PATH:
+        raise ValueError(
+            f"socket path too long for AF_UNIX ({len(str(path))} chars > "
+            f"{_MAX_SOCKET_PATH}): {path} — use a shorter path, e.g. "
+            f"under /tmp"
+        )
+    return path
+
+
+class _Connection:
+    """One client connection: the socket plus its send discipline.
+
+    Sends are serialised under a lock (campaign threads forward frames
+    into connections owned by other threads) and failures flip ``alive``
+    — a vanished client stops receiving, the campaign keeps running.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.lock = threading.Lock()
+        self.alive = True
+        self.watching = False
+
+    def send(self, doc: Dict[str, Any]) -> bool:
+        if not self.alive:
+            return False
+        try:
+            data = encode_frame(doc)
+            with self.lock:
+                self.sock.sendall(data)
+            return True
+        except OSError:
+            self.alive = False
+            return False
+
+
+class _ForwardingTelemetry(CampaignTelemetry):
+    """Campaign telemetry that also forwards each wire frame dict to the
+    service's subscribers (the submitting client + global watchers)."""
+
+    def __init__(self, forward, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._forward = forward
+
+    def on_frame(self, frame, worker: int = -1) -> None:
+        super().on_frame(frame, worker=worker)
+        try:
+            self._forward(frame.to_dict())
+        except Exception:
+            pass  # advisory: a broken subscriber must not kill a run
+
+
+class CampaignDaemon:
+    """Long-running scheduler over one shared replicated store."""
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        socket_path: Union[str, Path],
+        shards: int = 4,
+        replicas: int = 2,
+        jobs: int = 1,
+        heartbeat_s: float = 0.5,
+        resilience: Optional[ResiliencePolicy] = None,
+        wait_timeout_s: float = 600.0,
+        echo=None,
+    ) -> None:
+        self.socket_path = check_socket_path(socket_path)
+        self.metrics = MetricsRegistry()
+        self.cache = ResultCache(cache_dir, metrics=self.metrics)
+        self.store = ReplicatedStore(
+            self.cache, shards=shards, replicas=replicas,
+            metrics=self.metrics,
+        )
+        self.jobs = jobs
+        self.heartbeat_s = heartbeat_s
+        self.resilience = resilience or ResiliencePolicy()
+        self.wait_timeout_s = wait_timeout_s
+        self.echo = echo or (lambda line: None)
+        self._stop = threading.Event()
+        self._state_lock = threading.Lock()
+        self._connections: List[_Connection] = []
+        self._handlers: List[threading.Thread] = []
+        self.campaigns_served = 0
+        self.campaigns_active = 0
+        self.simulations = 0
+        self.wire_malformed = 0
+        self._listener: Optional[socket.socket] = None
+
+    # ---------------------------------------------------------------- server --
+    @property
+    def running(self) -> bool:
+        return self._listener is not None and not self._stop.is_set()
+
+    def stop(self) -> None:
+        """Ask the serve loop to exit (idempotent, thread-safe)."""
+        self._stop.set()
+
+    def serve_forever(self) -> None:
+        """Bind, listen, heartbeat, dispatch — until :meth:`stop`.
+
+        The accept timeout doubles as the shard heartbeat period, so
+        death detection needs no extra thread.
+        """
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(self.socket_path))
+        listener.listen(16)
+        listener.settimeout(self.heartbeat_s)
+        self._listener = listener
+        self.echo(
+            f"serving on {self.socket_path} "
+            f"({self.store.num_shards} shards, R={self.store.replicas}, "
+            f"jobs={self.jobs})"
+        )
+        self._audit("serve", socket=str(self.socket_path))
+        last_beat = time.monotonic()
+        try:
+            while not self._stop.is_set():
+                now = time.monotonic()
+                if now - last_beat >= self.heartbeat_s:
+                    self.store.heartbeat()
+                    last_beat = now
+                try:
+                    sock, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                conn = _Connection(sock)
+                with self._state_lock:
+                    self._connections.append(conn)
+                thread = threading.Thread(
+                    target=self._handle, args=(conn,), daemon=True,
+                    name="acr-service-conn",
+                )
+                self._handlers.append(thread)
+                thread.start()
+        finally:
+            self._listener = None
+            listener.close()
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+            for thread in self._handlers:
+                thread.join(timeout=5.0)
+            self.store.close()
+            self._audit("stopped")
+            self.echo("service stopped")
+
+    # -------------------------------------------------------------- handlers --
+    def _handle(self, conn: _Connection) -> None:
+        """One connection's read loop: decode messages, dispatch ops."""
+        registry = InFlightRegistry(self.cache)
+        buf = b""
+        conn.sock.settimeout(0.5)
+        try:
+            while conn.alive and not self._stop.is_set():
+                try:
+                    data = conn.sock.recv(65536)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break
+                buf += data
+                messages, buf, malformed = decode_stream(buf)
+                if malformed:
+                    with self._state_lock:
+                        self.wire_malformed += malformed
+                for msg in messages:
+                    if not self._dispatch(conn, msg, registry):
+                        return
+        finally:
+            registry.release_all()
+            conn.alive = False
+            with self._state_lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+
+    def _dispatch(
+        self, conn: _Connection, msg: Dict[str, Any],
+        registry: InFlightRegistry,
+    ) -> bool:
+        """Handle one message; returns False to end the connection."""
+        op = msg["op"]
+        if op == "ping":
+            conn.send(self.status())
+            return True
+        if op == "watch":
+            conn.watching = True
+            conn.send({"op": "accepted", "watch": True})
+            return True
+        if op == "shutdown":
+            self._audit("shutdown")
+            conn.send({"op": "bye"})
+            self.stop()
+            return False
+        if op == "submit":
+            self._serve_campaign(conn, msg, registry)
+            return True
+        conn.send({"op": "error", "message": f"client cannot send {op!r}"})
+        return True
+
+    # -------------------------------------------------------------- campaigns --
+    def _serve_campaign(
+        self, conn: _Connection, msg: Dict[str, Any],
+        registry: InFlightRegistry,
+    ) -> None:
+        try:
+            spec = CampaignSpec.from_dict(msg.get("campaign"))
+        except ValueError as exc:
+            conn.send({"op": "error", "message": f"bad campaign: {exc}"})
+            return
+        stream = bool(msg.get("stream"))
+        with self._state_lock:
+            self.campaigns_active += 1
+        progress = ProgressTracker()
+        telemetry = _ForwardingTelemetry(
+            lambda doc: self._forward_frame(conn if stream else None, doc),
+            progress=progress,
+        )
+        try:
+            runner = ExperimentRunner(
+                num_cores=spec.num_cores,
+                region_scale=spec.region_scale,
+                reps=spec.reps,
+                jobs=self.jobs,
+                cache=self.store,
+                progress=progress,
+                resilience=self.resilience,
+                engine=spec.engine,
+                telemetry=telemetry,
+            )
+            runner.supervisor_hooks["on_result"] = (
+                lambda task: registry.heartbeat_all()
+            )
+            pairs = spec.pairs(runner)
+            keymap = {
+                runner.cache_key(wl, req): (wl, req) for wl, req in pairs
+            }
+            conn.send({"op": "accepted", "keys": len(keymap)})
+            # Baselines first: a dependent must never simulate because
+            # its baseline is still leased to a concurrent client.
+            for phase_keys in (
+                [k for k, (_, r) in keymap.items() if r.is_baseline],
+                [k for k, (_, r) in keymap.items() if not r.is_baseline],
+            ):
+                self._run_phase(runner, registry, keymap, phase_keys)
+            report = campaign_report(runner, spec)
+            # Settle the leases and the accounting BEFORE the result
+            # frame leaves: a client holding its report may immediately
+            # ping and must see this campaign's totals.
+            registry.release_all()
+            self._account(progress)
+            conn.send({"op": "result", "report": report})
+            self._audit(
+                "campaign",
+                sha256=report["sha256"],
+                keys=len(keymap),
+                simulated=progress.simulated,
+                disk_hits=progress.disk_hits,
+            )
+        except Exception as exc:  # a bad campaign must not kill the daemon
+            registry.release_all()
+            self._account(progress)
+            conn.send(
+                {"op": "error", "message": f"{type(exc).__name__}: {exc}"}
+            )
+            self._audit("campaign-error", error=str(exc))
+
+    def _account(self, progress: ProgressTracker) -> None:
+        """Fold one finished campaign into the daemon's totals (called
+        exactly once per submission, before the client hears back)."""
+        with self._state_lock:
+            self.campaigns_active -= 1
+            self.campaigns_served += 1
+            self.simulations += progress.simulated
+
+    def _run_phase(
+        self,
+        runner: ExperimentRunner,
+        registry: InFlightRegistry,
+        keymap: Dict[str, Any],
+        keys: List[str],
+    ) -> None:
+        """Claim → simulate mine → publish → wait for theirs (falling
+        back to simulating any key whose owner vanished unpublished)."""
+        if not keys:
+            return
+        mine, theirs = registry.claim(keys)
+        if mine:
+            runner.run_many([keymap[k] for k in mine])
+            for key in mine:
+                registry.publish(key)
+        if theirs:
+            missing = registry.wait(
+                theirs,
+                done=self.store.load_payload_probe,
+                timeout_s=self.wait_timeout_s,
+            )
+            if missing:
+                runner.run_many([keymap[k] for k in missing])
+
+    # -------------------------------------------------------------- telemetry --
+    def _forward_frame(
+        self, submitter: Optional[_Connection], doc: Dict[str, Any]
+    ) -> None:
+        """Fan one frame dict out to the submitter and every watcher."""
+        wire = {"op": "frame", "frame": doc}
+        targets: List[_Connection] = []
+        with self._state_lock:
+            if submitter is not None and submitter.alive:
+                targets.append(submitter)
+            targets.extend(
+                c for c in self._connections
+                if c.watching and c.alive and c is not submitter
+            )
+        for target in targets:
+            target.send(wire)
+
+    # ---------------------------------------------------------------- status --
+    def status(self) -> Dict[str, Any]:
+        """The daemon's health document (the ``ping`` reply)."""
+        with self._state_lock:
+            campaigns = {
+                "served": self.campaigns_served,
+                "active": self.campaigns_active,
+            }
+            simulations = self.simulations
+            malformed = self.wire_malformed
+        return {
+            "op": "status",
+            "store": self.store.status(),
+            "campaigns": campaigns,
+            "simulations": simulations,
+            "quarantined": self.cache.quarantined,
+            "wire_malformed": malformed,
+        }
+
+    def _audit(self, event: str, **fields: Any) -> None:
+        """One line in the service audit journal beside the cache
+        (same torn-tail-tolerant JSONL contract as every other stream)."""
+        doc = {"v": 1, "event": event, "ts_s": time.time()}
+        doc.update(fields)
+        try:
+            append_line(
+                self.cache.root / "service.jsonl",
+                json.dumps(doc, sort_keys=True),
+            )
+        except OSError:
+            pass  # auditing is advisory

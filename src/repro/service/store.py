@@ -1,0 +1,474 @@
+"""The sharded, replicated result store (ReStore-style, DESIGN §3.7).
+
+:class:`ReplicatedStore` wraps the on-disk
+:class:`~repro.experiments.cache.ResultCache` with an in-memory tier:
+the content-addressed keyspace is partitioned across N shard *processes*
+by key hash, and every entry is replicated to R shards — the hash-primary
+plus its ring successors — exactly ReStore's in-memory replicated
+storage for rapid recovery.  The durability ladder:
+
+1. **disk first** — every write lands in the ResultCache before any
+   shard sees it, so shard loss can never lose a completed result;
+2. **shards serve reads** — a lookup asks the key's owner shards before
+   touching disk (the common path stays cheap, ACR's own thesis);
+3. **heartbeat death detection** — :meth:`heartbeat` pings every shard;
+   a dead or unresponsive one is respawned and *re-replicated*: every
+   indexed key the dead shard owned is copied back from a surviving
+   replica (or disk), restoring full R-way redundancy;
+4. **circuit breaker** — losing a majority of shards in one sweep, or
+   ``failure_threshold`` consecutive recovery failures, trips the store
+   into *degraded* mode (the :class:`~repro.resilience.policy` pattern):
+   shards are abandoned and every operation serves directly from the
+   disk cache, serially — slower, never wrong.
+
+The store quacks like a ``ResultCache`` (``load``/``store``/
+``load_payload``/``store_payload``/``quarantine``/``lock_path``/
+``journal_path``/``telemetry_path``), so an
+:class:`~repro.experiments.runner.ExperimentRunner` accepts it via its
+``cache=`` parameter unchanged.  All shard RPC is serialised under one
+lock — the daemon's connection handler threads share a single store.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set
+
+from repro.experiments.cache import KIND_RUN, ResultCache
+from repro.sim.results import RunResult
+from repro.util.validation import check_positive
+
+__all__ = ["ReplicatedStore"]
+
+
+def _shard_loop(conn) -> None:
+    """Child-process body: an in-memory slice of the keyspace.
+
+    Requests are tagged tuples; each gets exactly one reply, so the
+    parent can treat any pipe error or timeout as shard death.  A
+    ``None`` sentinel (or a closed pipe) ends the loop.
+    """
+    entries: Dict[str, Any] = {}
+    kinds: Dict[str, str] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        try:
+            op = msg[0]
+            if op == "put":
+                _, key, kind, doc = msg
+                entries[key] = doc
+                kinds[key] = kind
+                reply: Any = ("ok", True)
+            elif op == "get":
+                _, key, kind = msg
+                if key in entries and kinds.get(key) == kind:
+                    reply = ("ok", entries[key])
+                else:
+                    reply = ("ok", None)
+            elif op == "delete":
+                _, key = msg
+                reply = ("ok", entries.pop(key, None) is not None)
+                kinds.pop(key, None)
+            elif op == "keys":
+                reply = ("ok", sorted(entries))
+            elif op == "ping":
+                reply = ("ok", len(entries))
+            else:
+                reply = ("err", f"unknown shard op {op!r}")
+        except Exception as exc:  # report, never die — parity with workers
+            reply = ("err", f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+
+
+class _Shard:
+    """Parent-side handle of one shard process (the supervisor's
+    ``_Worker`` pattern: private pipe, daemonised child)."""
+
+    def __init__(self, ctx, sid: int) -> None:
+        self.sid = sid
+        self.conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_shard_loop,
+            args=(child,),
+            daemon=True,
+            name=f"acr-shard-{sid}",
+        )
+        self.process.start()
+        child.close()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        try:
+            self.process.kill()
+        except (OSError, ValueError, AttributeError):
+            pass
+        self.process.join(timeout=1.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def stop(self) -> None:
+        """Graceful shutdown: sentinel, short join, then kill."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+class ReplicatedStore:
+    """N-shard, R-replica in-memory tier over a disk ``ResultCache``."""
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        shards: int = 4,
+        replicas: int = 2,
+        rpc_timeout_s: float = 5.0,
+        failure_threshold: int = 3,
+        metrics: Optional[Any] = None,
+    ) -> None:
+        check_positive("shards", shards)
+        check_positive("replicas", replicas)
+        if replicas > shards:
+            raise ValueError(
+                f"replicas ({replicas}) cannot exceed shards ({shards})"
+            )
+        self.cache = cache
+        self.num_shards = shards
+        self.replicas = replicas
+        self.rpc_timeout_s = rpc_timeout_s
+        self.failure_threshold = failure_threshold
+        self.metrics = metrics
+        #: Degraded (circuit open): all shards abandoned, disk serves.
+        self.degraded = False
+        # Lifetime accounting (status surface + tests).
+        self.shard_deaths = 0
+        self.rereplicated = 0
+        self.disk_fallbacks = 0
+        self._consecutive_failures = 0
+        #: Every key this store has written or read-repaired, with its
+        #: payload kind — the re-replication worklist after a shard dies.
+        self._index: Dict[str, str] = {}
+        self._lock = threading.RLock()
+        self._ctx = multiprocessing.get_context()
+        self._shards: List[Optional[_Shard]] = [
+            _Shard(self._ctx, sid) for sid in range(shards)
+        ]
+        self._next_sid = shards
+
+    # ------------------------------------------------------------ placement --
+    def owners(self, key: str) -> List[int]:
+        """The shard ids replicating ``key``: hash-primary + successors
+        on the ring (ReStore's buddy placement)."""
+        primary = int(key[:8], 16) % self.num_shards
+        return [
+            (primary + i) % self.num_shards for i in range(self.replicas)
+        ]
+
+    # ------------------------------------------------------------- shard rpc --
+    def _rpc(self, sid: int, msg: Any) -> Any:
+        """One request/reply on shard ``sid``; returns ``None`` after
+        marking the shard dead on any pipe failure or timeout (a reply
+        value is always a tagged tuple, so ``None`` is unambiguous)."""
+        shard = self._shards[sid]
+        if shard is None:
+            return None
+        try:
+            shard.conn.send(msg)
+            if not shard.conn.poll(self.rpc_timeout_s):
+                raise TimeoutError(f"shard {sid} rpc timeout")
+            tag, value = shard.conn.recv()
+        except (BrokenPipeError, EOFError, OSError, TimeoutError,
+                ValueError):
+            self._mark_dead(sid)
+            return None
+        if tag != "ok":
+            return None
+        return ("ok", value)
+
+    def _mark_dead(self, sid: int) -> None:
+        shard = self._shards[sid]
+        if shard is None:
+            return
+        self._shards[sid] = None
+        self.shard_deaths += 1
+        self._count("store.shard_deaths")
+        shard.kill()
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(n)
+
+    # ------------------------------------------------------------ resilience --
+    def heartbeat(self) -> None:
+        """Ping every shard; dead ones are respawned and re-replicated.
+
+        The daemon calls this from its accept loop; tests call it
+        directly after SIGKILLing shards.  A sweep that finds a majority
+        of shards dead — or that cannot recover ``failure_threshold``
+        times in a row — trips the circuit breaker instead of recovering.
+        """
+        with self._lock:
+            if self.degraded:
+                return
+            dead = []
+            for sid, shard in enumerate(self._shards):
+                if shard is None or not shard.alive():
+                    if shard is not None:
+                        self._mark_dead(sid)
+                    dead.append(sid)
+                elif self._rpc(sid, ("ping",)) is None:
+                    dead.append(sid)
+            if not dead:
+                self._consecutive_failures = 0
+                return
+            if len(dead) > self.num_shards // 2:
+                # Majority loss in one sweep: recovery would rebuild most
+                # of the tier from disk anyway — degrade instead.
+                self._degrade()
+                return
+            try:
+                for sid in dead:
+                    self._recover(sid)
+                self._consecutive_failures = 0
+            except OSError:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._degrade()
+
+    def _recover(self, sid: int) -> None:
+        """Respawn shard ``sid`` and restore every replica it owned.
+
+        Surviving copies are preferred (an in-memory copy is the cheap
+        path); the disk cache backstops keys whose other replicas died
+        too.  On return every indexed key owned by ``sid`` is back at
+        full R-way redundancy.
+        """
+        self._shards[sid] = _Shard(self._ctx, self._next_sid)
+        self._next_sid += 1
+        restored = 0
+        for key, kind in list(self._index.items()):
+            owners = self.owners(key)
+            if sid not in owners:
+                continue
+            doc = None
+            for other in owners:
+                if other == sid or self._shards[other] is None:
+                    continue
+                reply = self._rpc(other, ("get", key, kind))
+                if reply is not None and reply[1] is not None:
+                    doc = reply[1]
+                    break
+            if doc is None:
+                doc = self.cache.load_payload(key, kind)
+            if doc is None:
+                # Quarantined on disk and lost in memory: drop the index
+                # entry — there is nothing left to replicate.
+                self._index.pop(key, None)
+                continue
+            if self._rpc(sid, ("put", key, kind, doc)) is not None:
+                restored += 1
+        self.rereplicated += restored
+        self._count("store.rereplicated", restored)
+
+    def _degrade(self) -> None:
+        """Open the circuit: abandon every shard, serve from disk."""
+        if self.degraded:
+            return
+        self.degraded = True
+        self._count("store.degraded")
+        for sid in range(self.num_shards):
+            shard = self._shards[sid]
+            self._shards[sid] = None
+            if shard is not None:
+                shard.stop()
+
+    # -------------------------------------------------------- cache protocol --
+    # The ExperimentRunner-facing surface: identical signatures to
+    # ResultCache, so the store drops in via the runner's ``cache=``.
+    @property
+    def root(self) -> Path:
+        return self.cache.root
+
+    @property
+    def quarantined(self) -> int:
+        return self.cache.quarantined
+
+    def path_for(self, key: str) -> Path:
+        return self.cache.path_for(key)
+
+    def lock_path(self, key: str) -> Path:
+        return self.cache.lock_path(key)
+
+    def journal_path(self) -> Path:
+        return self.cache.journal_path()
+
+    def telemetry_path(self) -> Path:
+        return self.cache.telemetry_path()
+
+    def load(self, key: str) -> Optional[RunResult]:
+        payload = self.load_payload(key, KIND_RUN)
+        if payload is None:
+            return None
+        try:
+            return RunResult.from_dict(payload)
+        except (ValueError, TypeError, KeyError):
+            self.quarantine(key)
+            return None
+
+    def store(self, key: str, result: RunResult) -> Path:
+        return self.store_payload(key, result.to_dict(), KIND_RUN)
+
+    def store_payload(self, key: str, result: Any, kind: str) -> Path:
+        """Disk first (durability), then replicate to the owner shards
+        (the fast tier).  A shard that fails mid-put is simply marked
+        dead — the next heartbeat re-replicates."""
+        path = self.cache.store_payload(key, result, kind)
+        with self._lock:
+            self._index[key] = kind
+            if not self.degraded:
+                doc = _json_round_trip(result)
+                for sid in self.owners(key):
+                    self._rpc(sid, ("put", key, kind, doc))
+        return path
+
+    def load_payload(self, key: str, kind: str) -> Optional[Any]:
+        """Owner shards first, disk fallback with read-repair."""
+        with self._lock:
+            if not self.degraded:
+                for sid in self.owners(key):
+                    reply = self._rpc(sid, ("get", key, kind))
+                    if reply is not None and reply[1] is not None:
+                        self._count("store.hits")
+                        return reply[1]
+            payload = self.cache.load_payload(key, kind)
+            if payload is None:
+                self._count("store.misses")
+                return None
+            # Read repair: a disk hit the shards missed (pre-daemon
+            # warm cache, or a lossy recovery) is promoted back into
+            # the fast tier.
+            self.disk_fallbacks += 1
+            self._count("store.disk_fallbacks")
+            self._index[key] = kind
+            if not self.degraded:
+                for sid in self.owners(key):
+                    self._rpc(sid, ("put", key, kind, payload))
+            return payload
+
+    def quarantine(self, key: str) -> None:
+        """Drop a corrupt entry from disk *and* every shard replica."""
+        self.cache.quarantine(key)
+        with self._lock:
+            self._index.pop(key, None)
+            if not self.degraded:
+                for sid in self.owners(key):
+                    self._rpc(sid, ("delete", key))
+
+    def __contains__(self, key: str) -> bool:
+        return self.load_payload_probe(key)
+
+    def load_payload_probe(self, key: str) -> bool:
+        """Whether any tier holds ``key`` (no payload transfer)."""
+        with self._lock:
+            if key in self._index:
+                return True
+        return self.cache.path_for(key).exists()
+
+    def describe(self) -> Dict[str, Any]:
+        doc = self.cache.describe()
+        doc.update(self.status())
+        return doc
+
+    # ----------------------------------------------------------------- intro --
+    def shard_pids(self) -> List[Optional[int]]:
+        """Live shard pids (``None`` for a currently-dead slot)."""
+        with self._lock:
+            return [
+                s.pid if s is not None and s.alive() else None
+                for s in self._shards
+            ]
+
+    def alive_count(self) -> int:
+        with self._lock:
+            return sum(
+                1 for s in self._shards if s is not None and s.alive()
+            )
+
+    def replica_count(self, key: str) -> int:
+        """How many live shards currently hold ``key`` (the redundancy
+        assertion of the chaos suite)."""
+        kind = self._index.get(key, KIND_RUN)
+        count = 0
+        with self._lock:
+            for sid in range(self.num_shards):
+                if self._shards[sid] is None:
+                    continue
+                reply = self._rpc(sid, ("get", key, kind))
+                if reply is not None and reply[1] is not None:
+                    count += 1
+        return count
+
+    def indexed_keys(self) -> Set[str]:
+        with self._lock:
+            return set(self._index)
+
+    def status(self) -> Dict[str, Any]:
+        """The shard-tier health document (the daemon's status surface)."""
+        with self._lock:
+            return {
+                "shards": self.num_shards,
+                "alive": self.alive_count(),
+                "replicas": self.replicas,
+                "pids": self.shard_pids(),
+                "degraded": self.degraded,
+                "shard_deaths": self.shard_deaths,
+                "rereplicated": self.rereplicated,
+                "disk_fallbacks": self.disk_fallbacks,
+                "entries": len(self._index),
+            }
+
+    def close(self) -> None:
+        """Stop every shard (graceful, then forceful)."""
+        with self._lock:
+            for sid in range(self.num_shards):
+                shard = self._shards[sid]
+                self._shards[sid] = None
+                if shard is not None:
+                    shard.stop()
+
+
+def _json_round_trip(result: Any) -> Any:
+    """The payload exactly as a future disk read would return it.
+
+    Shards must serve byte-for-byte what disk would (JSON round-tripping
+    maps tuples to lists etc.), so the replicated doc is the result of
+    one encode/decode round trip rather than the live Python object.
+    """
+    return json.loads(json.dumps(result))

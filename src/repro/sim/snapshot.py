@@ -41,12 +41,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 import zlib
 from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
+
+from repro.util import atomicio
 
 __all__ = [
     "SNAPSHOT_MAGIC",
@@ -280,26 +280,19 @@ class SnapshotStore:
             return None
 
     def save(self, key: str, blob: bytes) -> Path:
-        """Atomically publish ``blob`` under ``key``."""
+        """Atomically publish ``blob`` under ``key``.
+
+        Best-effort: an ``OSError`` (full or read-only disk) is swallowed
+        — a snapshot that fails to persist simply costs a future golden
+        re-simulation, never a failed campaign.
+        """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
         try:
-            with os.fdopen(fd, "wb") as fh:
-                fh.write(blob)
-            os.replace(tmp, path)
+            atomicio.atomic_write_bytes(path, blob, prefix=path.name)
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            pass
         return path
 
     def quarantine(self, key: str) -> None:
         """Remove a blob that failed to decode (treated as a miss)."""
-        try:
-            self.path_for(key).unlink()
-        except OSError:
-            pass
+        atomicio.quarantine(self.path_for(key))

@@ -1,9 +1,16 @@
-"""Shared utilities: deterministic RNG, unit conversions, table rendering.
+"""Shared utilities: deterministic RNG, units, tables, atomic file IO.
 
 These helpers are intentionally free of any simulator-specific knowledge so
 that every other subpackage can depend on them without import cycles.
 """
 
+from repro.util.atomicio import (
+    append_line,
+    atomic_write_bytes,
+    atomic_write_text,
+    quarantine,
+    tail_is_torn,
+)
 from repro.util.rng import DeterministicRng, derive_seed, spawn_rngs
 from repro.util.tables import format_table, format_percent
 from repro.util.units import (
@@ -26,6 +33,11 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "append_line",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "quarantine",
+    "tail_is_torn",
     "DeterministicRng",
     "derive_seed",
     "spawn_rngs",

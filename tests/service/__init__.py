@@ -1,0 +1,1 @@
+"""Campaign service test suite."""

@@ -1,0 +1,212 @@
+"""The sharded replicated store: placement, replication, shard-death
+recovery, read repair, and the degradation circuit breaker.
+
+These tests drive the store directly with synthetic payloads (real
+RunResults are exercised by the daemon and chaos suites) — the contracts
+here are purely about where bytes live and how they come back.
+"""
+
+import hashlib
+import os
+import signal
+import time
+
+import pytest
+
+from repro.experiments.cache import KIND_RUN, ResultCache
+from repro.obs.metrics import MetricsRegistry
+from repro.service.store import ReplicatedStore
+
+chaos = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"),
+    reason="chaos tests need SIGKILL",
+)
+
+
+def _key(i: int) -> str:
+    return hashlib.sha256(f"entry-{i}".encode()).hexdigest()
+
+
+def _doc(i: int) -> dict:
+    return {"value": i, "blob": [i, i + 1], "name": f"entry-{i}"}
+
+
+@pytest.fixture()
+def store(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    store = ReplicatedStore(cache, shards=4, replicas=2)
+    yield store
+    store.close()
+
+
+def _fill(store, n=8):
+    keys = [_key(i) for i in range(n)]
+    for i, key in enumerate(keys):
+        store.store_payload(key, _doc(i), KIND_RUN)
+    return keys
+
+
+class TestPlacement:
+    def test_owner_sets_are_replica_sized_and_distinct(self, store):
+        for i in range(32):
+            owners = store.owners(_key(i))
+            assert len(owners) == 2
+            assert len(set(owners)) == 2
+            assert all(0 <= o < 4 for o in owners)
+
+    def test_successor_placement_on_the_ring(self, store):
+        key = _key(0)
+        primary = int(key[:8], 16) % 4
+        assert store.owners(key) == [primary, (primary + 1) % 4]
+
+    def test_replicas_cannot_exceed_shards(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        with pytest.raises(ValueError, match="replicas"):
+            ReplicatedStore(cache, shards=2, replicas=3)
+
+
+class TestReadWrite:
+    def test_round_trip_and_full_redundancy(self, store):
+        keys = _fill(store)
+        for i, key in enumerate(keys):
+            assert store.load_payload(key, KIND_RUN) == _doc(i)
+            assert store.replica_count(key) == 2
+        assert store.alive_count() == 4
+
+    def test_disk_holds_every_entry_regardless_of_shards(self, store):
+        keys = _fill(store)
+        for i, key in enumerate(keys):
+            assert store.cache.load_payload(key, KIND_RUN) == _doc(i)
+
+    def test_wrong_kind_misses(self, store):
+        [key] = _fill(store, 1)
+        assert store.load_payload(key, "inject-trial") is None
+
+    def test_shards_serve_the_json_round_trip_of_the_payload(self, store):
+        # Tuples become lists on disk; the shard copy must match what a
+        # disk read would return, not the live Python object.
+        key = _key(0)
+        store.store_payload(key, {"pair": (1, 2)}, KIND_RUN)
+        assert store.load_payload(key, KIND_RUN) == {"pair": [1, 2]}
+
+    def test_read_repair_promotes_warm_disk_entries(self, store):
+        key = _key(0)
+        store.cache.store_payload(key, _doc(0), KIND_RUN)  # pre-daemon
+        assert store.replica_count(key) == 0
+        assert store.load_payload(key, KIND_RUN) == _doc(0)
+        assert store.disk_fallbacks == 1
+        assert store.replica_count(key) == 2
+
+    def test_probe_sees_both_tiers(self, store):
+        indexed = _key(0)
+        disk_only = _key(1)
+        store.store_payload(indexed, _doc(0), KIND_RUN)
+        store.cache.store_payload(disk_only, _doc(1), KIND_RUN)
+        assert store.load_payload_probe(indexed)
+        assert store.load_payload_probe(disk_only)
+        assert indexed in store
+        assert not store.load_payload_probe(_key(2))
+
+    def test_quarantine_drops_every_tier(self, store):
+        [key] = _fill(store, 1)
+        store.quarantine(key)
+        assert store.load_payload(key, KIND_RUN) is None
+        assert store.replica_count(key) == 0
+        assert key not in store.indexed_keys()
+
+
+@chaos
+@pytest.mark.chaos
+class TestShardDeath:
+    def test_sigkilled_shard_loses_nothing_and_rereplicates(self, store):
+        keys = _fill(store)
+        pids = store.shard_pids()
+        os.kill(pids[1], signal.SIGKILL)
+        deadline = time.monotonic() + 5.0
+        while store._shards[1].alive() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        store.heartbeat()
+        assert store.alive_count() == 4
+        assert store.shard_deaths == 1
+        assert store.rereplicated > 0
+        for i, key in enumerate(keys):
+            assert store.load_payload(key, KIND_RUN) == _doc(i)
+            assert store.replica_count(key) == 2
+
+    def test_any_single_shard_is_survivable(self, tmp_path):
+        # The acceptance bar: with 4 shards / R=2, killing ANY one shard
+        # loses zero completed results and recovery restores R=2.
+        for victim in range(4):
+            cache = ResultCache(tmp_path / f"c{victim}")
+            store = ReplicatedStore(cache, shards=4, replicas=2)
+            try:
+                keys = _fill(store)
+                os.kill(store.shard_pids()[victim], signal.SIGKILL)
+                store._shards[victim].process.join(timeout=5.0)
+                store.heartbeat()
+                assert store.alive_count() == 4
+                for i, key in enumerate(keys):
+                    assert store.load_payload(key, KIND_RUN) == _doc(i)
+                    assert store.replica_count(key) == 2
+            finally:
+                store.close()
+
+    def test_majority_loss_degrades_to_direct_disk(self, tmp_path):
+        metrics = MetricsRegistry()
+        cache = ResultCache(tmp_path / "cache")
+        store = ReplicatedStore(cache, shards=4, replicas=2,
+                                metrics=metrics)
+        try:
+            keys = _fill(store)
+            for sid in (0, 1, 2):
+                os.kill(store.shard_pids()[sid], signal.SIGKILL)
+                store._shards[sid].process.join(timeout=5.0)
+            store.heartbeat()
+            assert store.degraded
+            assert store.alive_count() == 0  # circuit open: all stopped
+            assert metrics.counter("store.degraded").value == 1
+            # Serial direct-disk mode still serves and accepts writes.
+            for i, key in enumerate(keys):
+                assert store.load_payload(key, KIND_RUN) == _doc(i)
+            extra = _key(99)
+            store.store_payload(extra, _doc(99), KIND_RUN)
+            assert store.load_payload(extra, KIND_RUN) == _doc(99)
+            assert store.status()["degraded"] is True
+            # Heartbeats stay no-ops once degraded (no respawn storms).
+            store.heartbeat()
+            assert store.alive_count() == 0
+        finally:
+            store.close()
+
+    def test_mid_write_shard_death_is_absorbed(self, store):
+        keys = _fill(store, 2)
+        os.kill(store.shard_pids()[0], signal.SIGKILL)
+        store._shards[0].process.join(timeout=5.0)
+        # Writes while shard 0 is dead but undetected: the RPC failure
+        # marks it dead, the write still lands on disk + survivors.
+        more = _key(50)
+        store.store_payload(more, _doc(50), KIND_RUN)
+        assert store.load_payload(more, KIND_RUN) == _doc(50)
+        store.heartbeat()
+        assert store.alive_count() == 4
+        for key in keys + [more]:
+            assert store.replica_count(key) == 2
+
+
+class TestStatus:
+    def test_status_document_shape(self, store):
+        _fill(store, 3)
+        doc = store.status()
+        assert doc["shards"] == 4
+        assert doc["alive"] == 4
+        assert doc["replicas"] == 2
+        assert doc["degraded"] is False
+        assert doc["entries"] == 3
+        assert len(doc["pids"]) == 4
+        assert all(isinstance(p, int) for p in doc["pids"])
+
+    def test_close_stops_everything(self, store):
+        _fill(store, 1)
+        store.close()
+        assert store.alive_count() == 0
+        assert store.shard_pids() == [None, None, None, None]
